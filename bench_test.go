@@ -1,0 +1,227 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// plus microbenchmarks of the CP-query algorithms (Figure 4's complexity
+// claims) and ablations of the design choices called out in DESIGN.md §6.
+//
+// The Benchmark{Table,Figure}* entries run the corresponding experiment at
+// the tiny scale (full scales via cmd/cpbench -scale small|medium|paper).
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cleaning"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// --- Table and figure regenerators (tiny scale) -----------------------------
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable1(experiments.Tiny, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTable2(b *testing.B, name string) {
+	spec, err := experiments.SpecByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTable2Dataset(spec, experiments.Tiny, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_BabyProduct(b *testing.B) { benchTable2(b, "BabyProduct") }
+func BenchmarkTable2_Supreme(b *testing.B)     { benchTable2(b, "Supreme") }
+func BenchmarkTable2_Bank(b *testing.B)        { benchTable2(b, "Bank") }
+func BenchmarkTable2_Puma(b *testing.B)        { benchTable2(b, "Puma") }
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFigure4([]int{100, 200}, 1)
+	}
+}
+
+func benchFigure9(b *testing.B, name string) {
+	spec, err := experiments.SpecByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure9Dataset(spec, experiments.Tiny, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9_BabyProduct(b *testing.B) { benchFigure9(b, "BabyProduct") }
+func BenchmarkFigure9_Supreme(b *testing.B)     { benchFigure9(b, "Supreme") }
+func BenchmarkFigure9_Bank(b *testing.B)        { benchFigure9(b, "Bank") }
+func BenchmarkFigure9_Puma(b *testing.B)        { benchFigure9(b, "Puma") }
+
+func BenchmarkFigure10(b *testing.B) {
+	spec, err := experiments.SpecByName("Supreme")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure10Dataset(spec, experiments.Tiny, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- CP-query microbenchmarks (Figure 4 rows) --------------------------------
+
+// benchInstance builds a deterministic random instance.
+func benchInstance(n, m, numLabels int) *core.Instance {
+	rng := rand.New(rand.NewSource(42))
+	sims := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range sims {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		sims[i] = row
+		labels[i] = rng.Intn(numLabels)
+	}
+	for l := 0; l < numLabels && l < n; l++ {
+		labels[l] = l
+	}
+	return core.MustNewInstance(sims, labels, numLabels)
+}
+
+func BenchmarkQ2_SSFast_K1_N1000(b *testing.B) {
+	inst := benchInstance(1000, 5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SSFastCounts(inst)
+	}
+}
+
+func benchSSDC(b *testing.B, n, m, k, labels int) {
+	inst := benchInstance(n, m, labels)
+	e := core.NewEngineFromInstance(inst)
+	sc := e.MustScratch(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Counts(sc, -1, -1)
+	}
+}
+
+func BenchmarkQ2_SSDC_K3_N250(b *testing.B)  { benchSSDC(b, 250, 5, 3, 2) }
+func BenchmarkQ2_SSDC_K3_N1000(b *testing.B) { benchSSDC(b, 1000, 5, 3, 2) }
+func BenchmarkQ2_SSDC_K3_N4000(b *testing.B) { benchSSDC(b, 4000, 5, 3, 2) }
+func BenchmarkQ2_SSDC_K7_N1000(b *testing.B) { benchSSDC(b, 1000, 5, 7, 2) }
+
+func benchSSDCMC(b *testing.B, n, m, k, labels int) {
+	inst := benchInstance(n, m, labels)
+	e := core.NewEngineFromInstance(inst)
+	sc := e.MustScratch(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.CountsMC(sc, -1, -1)
+	}
+}
+
+func BenchmarkQ2_SSDCMC_K3_N1000_Y2(b *testing.B)  { benchSSDCMC(b, 1000, 5, 3, 2) }
+func BenchmarkQ2_SSDCMC_K3_N1000_Y8(b *testing.B)  { benchSSDCMC(b, 1000, 5, 3, 8) }
+func BenchmarkQ2_SSDCMC_K3_N1000_Y16(b *testing.B) { benchSSDCMC(b, 1000, 5, 3, 16) }
+
+// Ablation: tally enumeration (SS-DC) blows up combinatorially in |Y| while
+// the winner-cap DP (SS-DC-MC) stays polynomial.
+func BenchmarkAblation_SSDC_TallyEnum_K3_Y8(b *testing.B) { benchSSDC(b, 1000, 5, 3, 8) }
+
+func BenchmarkQ1_MM_N1000(b *testing.B) {
+	inst := benchInstance(1000, 5, 2)
+	e := core.NewEngineFromInstance(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CheckMM(3, -1, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQ1_MM_N4000(b *testing.B) {
+	inst := benchInstance(4000, 5, 2)
+	e := core.NewEngineFromInstance(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CheckMM(3, -1, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: naive exact SortScan (per-candidate DP recomputation, big-int
+// arithmetic) vs the segment-tree scan above.
+func BenchmarkAblation_SSExact_K3_N100(b *testing.B) {
+	inst := benchInstance(100, 5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SSExactCounts(inst, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: exact incremental big-int scan vs the float64 K=1 scan.
+func BenchmarkAblation_SSFastExact_K1_N250(b *testing.B) {
+	inst := benchInstance(250, 5, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SSFastExactCounts(inst)
+	}
+}
+
+// --- CPClean ablations --------------------------------------------------------
+
+func benchCPClean(b *testing.B, opts cleaning.Options) {
+	spec, err := experiments.SpecByName("Supreme")
+	if err != nil {
+		b.Fatal(err)
+	}
+	task, err := experiments.BuildTask(spec, experiments.Tiny, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cleaning.CPClean(task, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCPClean_Supreme(b *testing.B) {
+	benchCPClean(b, cleaning.Options{SkipCertain: true})
+}
+
+// Ablation: without the CP'ed-points-stay-CP'ed lemma (§4), every validation
+// point is re-queried for every hypothesis.
+func BenchmarkAblation_CPClean_NoSkipCertain(b *testing.B) {
+	benchCPClean(b, cleaning.Options{SkipCertain: false})
+}
+
+// Ablation: Q2 via the multi-class winner-cap DP instead of tally
+// enumeration (identical answers for |Y|=2; different constants).
+func BenchmarkAblation_CPClean_MC(b *testing.B) {
+	benchCPClean(b, cleaning.Options{SkipCertain: true, UseMC: true})
+}
+
+// Ablation: batch cleaning (top-3 rows per hypothesis sweep) vs the paper's
+// one-row-per-sweep Algorithm 3.
+func BenchmarkAblation_CPClean_Batch3(b *testing.B) {
+	benchCPClean(b, cleaning.Options{SkipCertain: true, BatchSize: 3})
+}

@@ -1,0 +1,123 @@
+// Command cpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cpbench -exp table1|table2|figure4|figure9|figure10|all [-scale small|medium|paper]
+//	        [-dataset NAME] [-seed N] [-csv]
+//
+// Each experiment prints an aligned text table mirroring the corresponding
+// table/figure of the paper; -csv switches to CSV output for plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|figure4|figure9|figure10|all")
+	scaleName := flag.String("scale", "small", "scale preset: small|medium|paper")
+	dataset := flag.String("dataset", "", "restrict to one dataset (Table 2 / Figures 9, 10)")
+	seed := flag.Int64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	flag.Parse()
+
+	scale, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	specs := experiments.Specs()
+	if *dataset != "" {
+		spec, err := experiments.SpecByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []experiments.DatasetSpec{spec}
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	emit := func(t *experiments.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == name || *exp == "all" }
+
+	if want("table1") {
+		run("table1", func() error {
+			rows, err := experiments.RunTable1(scale, *seed)
+			if err != nil {
+				return err
+			}
+			emit(experiments.Table1Report(rows))
+			return nil
+		})
+	}
+	if want("table2") {
+		run("table2", func() error {
+			var rows []*experiments.Table2Row
+			for _, spec := range specs {
+				r, err := experiments.RunTable2Dataset(spec, scale, *seed)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, r)
+			}
+			emit(experiments.Table2Report(rows))
+			return nil
+		})
+	}
+	if want("figure4") {
+		run("figure4", func() error {
+			rows := experiments.RunFigure4(nil, *seed)
+			emit(experiments.Figure4Report(rows))
+			return nil
+		})
+	}
+	if want("figure9") {
+		run("figure9", func() error {
+			for _, spec := range specs {
+				r, err := experiments.RunFigure9Dataset(spec, scale, *seed)
+				if err != nil {
+					return err
+				}
+				emit(experiments.Figure9Report(r))
+			}
+			return nil
+		})
+	}
+	if want("figure10") {
+		run("figure10", func() error {
+			var pts []experiments.Figure10Point
+			for _, spec := range specs {
+				p, err := experiments.RunFigure10Dataset(spec, scale, *seed)
+				if err != nil {
+					return err
+				}
+				pts = append(pts, p...)
+			}
+			emit(experiments.Figure10Report(pts))
+			return nil
+		})
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpbench:", err)
+	os.Exit(1)
+}

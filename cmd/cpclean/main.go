@@ -1,0 +1,144 @@
+// Command cpclean runs the CPClean cleaning loop on CSV data.
+//
+// Usage:
+//
+//	cpclean -dirty dirty.csv -truth truth.csv -val val.csv -test test.csv
+//	        [-k 3] [-budget 0] [-random] [-seed 1] [-out cleaned.csv]
+//
+// All CSVs share a header whose last column is the integer label; missing
+// cells are empty (or NA/?/null). -truth provides the ground-truth values
+// the simulated human oracle reveals. With -random the baseline random-order
+// cleaner runs instead. -out writes the final cleaned training table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"math/rand"
+
+	"repro/internal/cleaning"
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+func main() {
+	dirtyPath := flag.String("dirty", "", "dirty training CSV (required)")
+	truthPath := flag.String("truth", "", "ground-truth training CSV (required)")
+	valPath := flag.String("val", "", "validation CSV (required)")
+	testPath := flag.String("test", "", "test CSV (required)")
+	k := flag.Int("k", 3, "K for the K-NN classifier")
+	budget := flag.Int("budget", 0, "max examples to clean (0 = until all validation examples CP'ed)")
+	random := flag.Bool("random", false, "use the RandomClean baseline instead of CPClean")
+	seed := flag.Int64("seed", 1, "random seed (RandomClean)")
+	outPath := flag.String("out", "", "write the cleaned training table to this CSV")
+	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row (Cartesian product)")
+	flag.Parse()
+
+	for name, v := range map[string]string{"dirty": *dirtyPath, "truth": *truthPath, "val": *valPath, "test": *testPath} {
+		if v == "" {
+			fatalf("missing required flag -%s", name)
+		}
+	}
+	dirty := readTable(*dirtyPath)
+	truth := readTable(*truthPath)
+	val := readTable(*valPath)
+	test := readTable(*testPath)
+
+	task, err := cleaning.NewTask(dirty, truth, val, test, *k, knn.NegEuclidean{},
+		repair.Options{MaxRowCandidates: *maxCands})
+	if err != nil {
+		fatalf("building task: %v", err)
+	}
+	fmt.Printf("training rows: %d (%d dirty), candidates: %d, possible worlds: %s\n",
+		dirty.NumRows(), len(task.Repairs.DirtyRows),
+		task.Dataset().TotalCandidates(), task.Dataset().WorldCount())
+
+	gt, err := cleaning.GroundTruthAccuracy(task)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	def, err := cleaning.DefaultCleanAccuracy(task)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("ground-truth test accuracy: %.4f\ndefault-cleaning accuracy:  %.4f\n", gt, def)
+
+	opts := cleaning.Options{
+		MaxSteps:    *budget,
+		SkipCertain: true,
+		Rand:        rand.New(rand.NewSource(*seed)),
+	}
+	var res *cleaning.Result
+	if *random {
+		res, err = cleaning.RandomClean(task, opts)
+	} else {
+		res, err = cleaning.CPClean(task, opts)
+	}
+	if err != nil {
+		fatalf("cleaning: %v", err)
+	}
+
+	fmt.Printf("cleaned %d examples", len(res.Order))
+	if res.AllCertainStep >= 0 {
+		fmt.Printf("; all validation examples CP'ed after %d", res.AllCertainStep)
+	}
+	fmt.Println()
+	fmt.Printf("final test accuracy: %.4f (gap closed %.0f%%)\n",
+		res.FinalAccuracy, 100*cleaning.GapClosed(res.FinalAccuracy, def, gt))
+
+	if *outPath != "" {
+		cleanedTable := materialize(task, res)
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := table.WriteCSV(f, cleanedTable); err != nil {
+			fatalf("writing %s: %v", *outPath, err)
+		}
+		fmt.Printf("cleaned table written to %s\n", *outPath)
+	}
+}
+
+// materialize applies the oracle repairs of cleaned rows (and default
+// candidates elsewhere) back onto the dirty table.
+func materialize(task *cleaning.Task, res *cleaning.Result) *table.Table {
+	out := task.Dirty.Clone()
+	choice := task.DefaultWorld()
+	for _, row := range res.Order {
+		choice[row] = task.Repairs.Truth[row]
+	}
+	for i := 0; i < out.NumRows(); i++ {
+		for ci, cell := range task.Repairs.Overrides[i][choice[i]] {
+			c := out.Cols[ci]
+			if cell.Kind == table.Numeric {
+				c.Nums[i] = cell.Num
+			} else {
+				c.Cats[i] = cell.Cat
+			}
+			c.Missing[i] = false
+		}
+	}
+	return out
+}
+
+func readTable(path string) *table.Table {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	t, err := table.ReadCSV(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return t
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cpclean: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command cpquery answers CP queries (Q1 checking, Q2 counting) for test
+// points against an incomplete training CSV.
+//
+// Usage:
+//
+//	cpquery -train dirty.csv -points points.csv [-k 3] [-alg auto]
+//	        [-max-candidates 125]
+//
+// -train is a CSV with missing cells (last column = integer label); its
+// candidate repairs follow the paper's §5.1 protocol (five-point numeric,
+// top-4+other categorical). -points is a CSV of complete rows with the same
+// feature header (a label column is accepted and ignored). For every point
+// the tool prints the Q2 world fractions, whether the prediction is CP'ed,
+// and the entropy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+func main() {
+	trainPath := flag.String("train", "", "incomplete training CSV (required)")
+	pointsPath := flag.String("points", "", "test points CSV (required)")
+	k := flag.Int("k", 3, "K for the K-NN classifier")
+	algName := flag.String("alg", "auto", "algorithm: auto|ss-dc|ss-dc-mc|ss-exact|ss-fast|brute-force")
+	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row")
+	flag.Parse()
+
+	if *trainPath == "" || *pointsPath == "" {
+		fatalf("-train and -points are required")
+	}
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	train := readTable(*trainPath)
+	points := readTable(*pointsPath)
+
+	enc := table.FitEncoder(train, 0)
+	reps, err := repair.Generate(train, nil, enc, repair.Options{MaxRowCandidates: *maxCands})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	d := reps.Dataset
+	fmt.Printf("training rows: %d (%d uncertain), possible worlds: %s\n\n",
+		d.N(), len(d.UncertainRows()), d.WorldCount())
+
+	for i := 0; i < points.NumRows(); i++ {
+		t := enc.EncodeRow(points, i, nil)
+		inst := core.InstanceFor(d, knn.NegEuclidean{}, t)
+		q2, err := core.Q2(inst, *k, alg)
+		if err != nil {
+			fatalf("point %d: %v", i, err)
+		}
+		var q1 []bool
+		if d.NumLabels == 2 {
+			q1, err = core.MMCheck(inst, *k)
+			if err != nil {
+				fatalf("point %d: %v", i, err)
+			}
+		} else {
+			q1 = core.CheckFromNormalized(q2)
+		}
+		pred := core.ArgmaxProb(q2)
+		certain := false
+		for _, b := range q1 {
+			certain = certain || b
+		}
+		fmt.Printf("point %d: prediction=%d certain=%v entropy=%.4f fractions=", i, pred, certain, core.Entropy(q2))
+		for y, p := range q2 {
+			if y > 0 {
+				fmt.Print(" ")
+			}
+			fmt.Printf("%d:%.4f", y, p)
+		}
+		fmt.Println()
+	}
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch s {
+	case "auto":
+		return core.Auto, nil
+	case "ss-dc":
+		return core.SSDC, nil
+	case "ss-dc-mc":
+		return core.SSDCMC, nil
+	case "ss-exact":
+		return core.SSExact, nil
+	case "ss-fast":
+		return core.SSFast, nil
+	case "brute-force":
+		return core.BruteForce, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+func readTable(path string) *table.Table {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	t, err := table.ReadCSV(f)
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	return t
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cpquery: "+format+"\n", args...)
+	os.Exit(1)
+}

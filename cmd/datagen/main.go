@@ -1,0 +1,94 @@
+// Command datagen generates the paper's evaluation datasets as CSV files:
+// a complete ground-truth table plus a dirty copy with injected missing
+// values, split into train/val/test.
+//
+// Usage:
+//
+//	datagen -dataset Supreme|Bank|Puma|BabyProduct -out dir/
+//	        [-n 0] [-val 1000] [-test 1000] [-rate 0.2] [-seed 1]
+//
+// Writes <out>/<dataset>_{train_dirty,train_truth,val,test}.csv — the four
+// files cmd/cpclean consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/knn"
+	"repro/internal/missing"
+	"repro/internal/synth"
+	"repro/internal/table"
+)
+
+func main() {
+	name := flag.String("dataset", "Supreme", "dataset: Supreme|Bank|Puma|BabyProduct")
+	out := flag.String("out", ".", "output directory")
+	n := flag.Int("n", 0, "total rows (0 = the dataset's native size)")
+	valN := flag.Int("val", 1000, "validation rows")
+	testN := flag.Int("test", 1000, "test rows")
+	rate := flag.Float64("rate", 0.2, "missing-cell rate (synthetic-error datasets)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	spec, err := experiments.SpecByName(*name)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	total := spec.NativeRows
+	if *n > 0 {
+		total = *n
+	}
+	if *valN+*testN >= total {
+		fatalf("val+test (%d) must be smaller than total rows (%d)", *valN+*testN, total)
+	}
+	full := spec.Generate(total, *seed)
+	rng := rand.New(rand.NewSource(*seed + 1000))
+	split, err := full.SplitRandom(rng, *valN, *testN)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	truth := split.Train
+	dirty := truth.Clone()
+	if spec.RealErrors {
+		synth.InjectBabyProductErrors(dirty, 0.118, rng)
+	} else {
+		imp, err := missing.FeatureImportance(truth, experiments.ModelK, knn.NegEuclidean{}, rng, 0)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := missing.InjectMNARBiased(dirty, *rate, 1.2, imp, rng); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	base := strings.ToLower(spec.Name)
+	write := func(suffix string, t *table.Table) {
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s.csv", base, suffix))
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := table.WriteCSV(f, t); err != nil {
+			fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d rows)\n", path, t.NumRows())
+	}
+	write("train_dirty", dirty)
+	write("train_truth", truth)
+	write("val", split.Val)
+	write("test", split.Test)
+	fmt.Printf("dirty rows: %d/%d (%.1f%% cells missing)\n",
+		len(dirty.DirtyRows()), dirty.NumRows(), 100*dirty.MissingCellRate())
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Quickstart: certain predictions over a toy incomplete dataset.
+//
+// Reproduces the flavor of the paper's Figure 1: a training set where one
+// record's value is unknown, and a test query whose K-NN prediction may or
+// may not depend on how the unknown resolves.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Ages dataset, Figure 1 style: John 32 (label: no), Anna 29 (label:
+	// yes), Kevin's age unknown — the cleaning system proposed {25, 65}.
+	// Labels: does the person match the target segment?
+	d := repro.MustDataset([]repro.Example{
+		{Candidates: [][]float64{{32}}, Label: 0},       // John
+		{Candidates: [][]float64{{29}}, Label: 1},       // Anna
+		{Candidates: [][]float64{{25}, {65}}, Label: 1}, // Kevin: 25 or 65?
+	}, 2)
+
+	fmt.Printf("possible worlds: %s\n\n", d.WorldCount())
+
+	// A 1-NN query near Anna: is its prediction certain?
+	for _, t := range []float64{28, 40, 60} {
+		q1, q2, err := repro.Query(d, repro.NegEuclidean{}, []float64{t}, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("test age %v:\n", t)
+		for y := range q2 {
+			fmt.Printf("  label %d: certain=%-5v  world fraction=%.2f\n", y, q1[y], q2[y])
+		}
+		if certain(q1) {
+			fmt.Println("  → CP'ed: cleaning Kevin's record cannot change this prediction")
+		} else {
+			fmt.Printf("  → not CP'ed (entropy %.3f nats): the unknown value matters here\n",
+				repro.Entropy(q2))
+		}
+		fmt.Println()
+	}
+
+	// The same queries with K = 3 (every training row votes): with all three
+	// voting and labels {0, 1, 1}, the majority is always 1 — certain even
+	// though Kevin's age is unknown.
+	q1, q2, err := repro.Query(d, repro.NegEuclidean{}, []float64{40}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("K=3, test age 40: certain=%v fractions=%.2f\n", q1[1], q2)
+}
+
+func certain(q1 []bool) bool {
+	for _, b := range q1 {
+		if b {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,146 @@
+package cleaning
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+func TestBoostCleanSelectsBestMethodOnVal(t *testing.T) {
+	task := makeTask(t, 60, 20, 40, 0.2, 101)
+	res, err := BoostClean(task, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SelectedMethods) != 1 {
+		t.Fatalf("selected %v", res.SelectedMethods)
+	}
+	// The chosen method must be the validation-accuracy argmax.
+	best := 0
+	for m, acc := range res.ValAccuracies {
+		if acc > res.ValAccuracies[best] {
+			best = m
+		}
+	}
+	if res.ValAccuracies[res.SelectedMethods[0]] != res.ValAccuracies[best] {
+		t.Fatalf("selected method %d (val %v), best is %d (val %v)",
+			res.SelectedMethods[0], res.ValAccuracies[res.SelectedMethods[0]],
+			best, res.ValAccuracies[best])
+	}
+}
+
+func TestBoostCleanEnsembleNeverWorseOnVal(t *testing.T) {
+	task := makeTask(t, 60, 20, 40, 0.2, 103)
+	single, err := BoostClean(task, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensemble, err := BoostClean(task, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ensemble.SelectedMethods) < 1 || len(ensemble.SelectedMethods) > 3 {
+		t.Fatalf("ensemble size %d", len(ensemble.SelectedMethods))
+	}
+	// Greedy forward selection only adds members that improve validation
+	// accuracy, so its first member equals the single best.
+	if ensemble.SelectedMethods[0] != single.SelectedMethods[0] {
+		t.Fatalf("ensemble starts with %d, single best is %d",
+			ensemble.SelectedMethods[0], single.SelectedMethods[0])
+	}
+}
+
+func TestMethodCandidateMapsSlots(t *testing.T) {
+	// A table with one missing numeric cell: methodCandidate(m) must select
+	// the candidate equal to pool slot m.
+	truth := table.MustNew([]*table.Column{
+		table.NewNumeric("x", []float64{0, 1, 2, 3, 4, 5, 6, 7}),
+	}, []int{0, 1, 0, 1, 0, 1, 0, 1}, 2)
+	dirty := truth.Clone()
+	dirty.Cols[0].SetMissing(3)
+	task, err := NewTask(dirty, truth, truth.Subset([]int{0, 1}), truth.Subset([]int{2, 3}),
+		3, knn.NegEuclidean{}, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric pool of observed column: min=0, p25, mean, p75, max=7.
+	for m := 0; m < 5; m++ {
+		j := task.methodCandidate(3, m)
+		cell := task.Repairs.Overrides[3][j][0]
+		if !task.cellIsMethodSlot(0, cell, m) {
+			t.Fatalf("method %d mapped to cell %v", m, cell)
+		}
+	}
+}
+
+func TestHoloCleanImputesNumericFromNeighbors(t *testing.T) {
+	// Two clusters: x correlates perfectly with y. A missing x must be
+	// imputed near its cluster's x, not the global mean.
+	n := 40
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			xs[i], ys[i], labels[i] = 0, 0, 0
+		} else {
+			xs[i], ys[i], labels[i] = 10, 10, 1
+		}
+	}
+	truth := table.MustNew([]*table.Column{
+		table.NewNumeric("x", xs),
+		table.NewNumeric("y", ys),
+	}, labels, 2)
+	dirty := truth.Clone()
+	dirty.Cols[0].SetMissing(1) // row 1 belongs to the x=10 cluster
+	cell, ok := imputeCellForTest(dirty, 1, 0, 5)
+	if !ok {
+		t.Fatal("imputation failed")
+	}
+	if math.Abs(cell.Num-10) > 1e-9 {
+		t.Fatalf("imputed %v, want 10 (cluster value, not the global mean 5)", cell.Num)
+	}
+}
+
+func TestHoloCleanImputesCategoricalMode(t *testing.T) {
+	cats := []string{"a", "a", "a", "b", "a", "a"}
+	truth := table.MustNew([]*table.Column{
+		table.NewNumeric("x", []float64{1, 1, 1, 1, 1, 1}),
+		table.NewCategorical("c", cats),
+	}, []int{0, 1, 0, 1, 0, 1}, 2)
+	dirty := truth.Clone()
+	dirty.Cols[1].SetMissing(0)
+	cell, ok := imputeCellForTest(dirty, 0, 1, 5)
+	if !ok || cell.Cat != "a" {
+		t.Fatalf("imputed %v", cell)
+	}
+}
+
+func TestGroundTruthBeatsOrMatchesDefaultOnAverage(t *testing.T) {
+	wins := 0
+	for seed := int64(0); seed < 4; seed++ {
+		task := makeTask(t, 70, 15, 60, 0.25, 200+seed)
+		gt, err := GroundTruthAccuracy(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		def, err := DefaultCleanAccuracy(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gt >= def {
+			wins++
+		}
+	}
+	if wins < 2 {
+		t.Fatalf("ground truth beat default cleaning only %d/4 times", wins)
+	}
+}
+
+// imputeCellForTest exposes the HoloClean-style cell imputer.
+func imputeCellForTest(t *table.Table, row, col, neighbors int) (table.Cell, bool) {
+	return imputeCell(t, row, col, neighbors)
+}

@@ -1,0 +1,167 @@
+// Package cleaning implements the paper's "data cleaning for machine
+// learning" application (§4): the CPClean algorithm (sequential information
+// maximization over the Q2 counting query) and the baselines it is compared
+// against in §5 — Ground Truth, Default Cleaning, BoostClean-style selection,
+// HoloClean-style probabilistic imputation, and RandomClean.
+package cleaning
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// Task bundles one cleaning problem: a dirty training set with ground truth,
+// a complete validation set (used by CPClean and BoostClean), and a complete
+// test set (used only for final reporting).
+type Task struct {
+	Dirty *table.Table
+	Truth *table.Table
+	Val   *table.Table
+	Test  *table.Table
+
+	K      int
+	Kernel knn.Kernel
+
+	// Encoder is fitted on the dirty training table and shared by every
+	// method so accuracies are comparable.
+	Encoder *table.Encoder
+	// Repairs holds the candidate sets (the incomplete dataset) and oracle.
+	Repairs *repair.Repairs
+
+	ValX, TestX [][]float64
+}
+
+// NewTask validates inputs, fits the encoder, and generates candidate
+// repairs.
+func NewTask(dirty, truth, val, test *table.Table, k int, kernel knn.Kernel, opts repair.Options) (*Task, error) {
+	if truth == nil {
+		return nil, fmt.Errorf("cleaning: ground-truth table required (oracle simulation)")
+	}
+	if dirty.NumRows() != truth.NumRows() {
+		return nil, fmt.Errorf("cleaning: dirty has %d rows, truth %d", dirty.NumRows(), truth.NumRows())
+	}
+	if k <= 0 || k > dirty.NumRows() {
+		return nil, fmt.Errorf("cleaning: K=%d out of range for %d training rows", k, dirty.NumRows())
+	}
+	enc := table.FitEncoder(dirty, 0)
+	reps, err := repair.Generate(dirty, truth, enc, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Task{
+		Dirty: dirty, Truth: truth, Val: val, Test: test,
+		K: k, Kernel: kernel, Encoder: enc, Repairs: reps,
+	}
+	if val != nil {
+		t.ValX = enc.EncodeAll(val)
+	}
+	if test != nil {
+		t.TestX = enc.EncodeAll(test)
+	}
+	return t, nil
+}
+
+// AccuracyOn trains K-NN on the given complete training table and returns
+// its accuracy on the task's test set.
+func (t *Task) AccuracyOn(train *table.Table) (float64, error) {
+	clf, err := knn.NewClassifier(t.K, t.Kernel, t.Encoder.EncodeAll(train), train.Labels, train.NumLabels)
+	if err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(t.TestX, t.Test.Labels), nil
+}
+
+// AccuracyOnEncoded trains K-NN on pre-encoded features and labels.
+func (t *Task) AccuracyOnEncoded(x [][]float64, y []int) (float64, error) {
+	clf, err := knn.NewClassifier(t.K, t.Kernel, x, y, t.Dirty.NumLabels)
+	if err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(t.TestX, t.Test.Labels), nil
+}
+
+// ValAccuracyOnEncoded is AccuracyOnEncoded against the validation set.
+func (t *Task) ValAccuracyOnEncoded(x [][]float64, y []int) (float64, error) {
+	clf, err := knn.NewClassifier(t.K, t.Kernel, x, y, t.Dirty.NumLabels)
+	if err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(t.ValX, t.Val.Labels), nil
+}
+
+// DefaultCandidate returns, for each training row, the candidate index whose
+// repairs are the column mean / mode — the possible world corresponding to
+// Default Cleaning. For numeric columns the mean is candidate 2 of the
+// five-point set {min, p25, mean, p75, max}; for categorical columns the
+// mode is candidate 0. We locate them by matching override cells.
+func (t *Task) DefaultCandidate(row int) int {
+	overrides := t.Repairs.Overrides[row]
+	if len(overrides) == 1 {
+		return 0
+	}
+	bestJ, bestScore := 0, -1
+	for j, ov := range overrides {
+		score := 0
+		for ci, cell := range ov {
+			col := t.Dirty.Cols[ci]
+			if cell.Kind == table.Numeric {
+				if cell.Num == col.Stats().Mean {
+					score++
+				}
+			} else {
+				if cell.Cat == col.Mode() {
+					score++
+				}
+			}
+		}
+		if score > bestScore {
+			bestJ, bestScore = j, score
+		}
+	}
+	return bestJ
+}
+
+// WorldX materializes the encoded feature matrix of the possible world
+// selected by choice (choice[i] = candidate index of row i), alongside the
+// labels.
+func (t *Task) WorldX(choice []int) ([][]float64, []int) {
+	return t.Repairs.Dataset.World(choice)
+}
+
+// OracleWorld returns the choice vector where every row takes the oracle's
+// (closest-to-truth) candidate.
+func (t *Task) OracleWorld() []int {
+	out := make([]int, t.Dirty.NumRows())
+	copy(out, t.Repairs.Truth)
+	return out
+}
+
+// DefaultWorld returns the choice vector where every dirty row takes its
+// mean/mode candidate.
+func (t *Task) DefaultWorld() []int {
+	out := make([]int, t.Dirty.NumRows())
+	for i := range out {
+		out[i] = t.DefaultCandidate(i)
+	}
+	return out
+}
+
+// Dataset returns the incomplete training dataset.
+func (t *Task) Dataset() *dataset.Incomplete { return t.Repairs.Dataset }
+
+// GapClosed computes the paper's headline metric:
+//
+//	gap closed by X = (acc(X) − acc(Default)) / (acc(GroundTruth) − acc(Default)).
+//
+// Degenerate zero gaps return 0.
+func GapClosed(accX, accDefault, accTruth float64) float64 {
+	den := accTruth - accDefault
+	if den == 0 {
+		return 0
+	}
+	return (accX - accDefault) / den
+}

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/segtree"
+)
+
+// Engine answers CP queries for one (incomplete dataset, test point) pair.
+// It pre-sorts all candidate similarities once and then supports repeated
+// Q1/Q2 evaluation under different cleaning states:
+//
+//   - persistent pins (SetPin) model rows that have been cleaned to a known
+//     value, shrinking their candidate set to one;
+//   - a per-query override models CPClean's hypothetical "what if we cleaned
+//     row i to candidate j" without mutating the engine, so hypotheses can be
+//     evaluated from many goroutines sharing one engine (each goroutine owns
+//     its own Scratch).
+//
+// Q2 uses the SS-DC algorithm (§3.1.3 + appendix A.2): a segment tree per
+// label maintains the boundary-set DP under one leaf update per scanned
+// candidate, giving O(NM·(log NM + K²·log N)) per query. Q1 uses MM (§3.2).
+type Engine struct {
+	inst      *Instance
+	numLabels int
+	order     []candRef // ascending similarity under the total order
+	pins      []int32   // pins[i] = candidate index row i is cleaned to, or -1
+	labelOf   []int
+	rowPos    []int   // leaf index of each row inside its label's tree
+	labelLen  []int   // rows per label
+	ones      []int32 // scratch template
+}
+
+// NewEngine builds an engine for incomplete dataset d and test point t under
+// the given kernel.
+func NewEngine(d *dataset.Incomplete, kernel knn.Kernel, t []float64) *Engine {
+	return NewEngineFromInstance(InstanceFor(d, kernel, t))
+}
+
+// NewEngineFromInstance builds an engine from a precomputed similarity view.
+func NewEngineFromInstance(inst *Instance) *Engine {
+	n := inst.N()
+	e := &Engine{
+		inst:      inst,
+		numLabels: inst.NumLabels,
+		order:     inst.sortedCandidates(),
+		pins:      make([]int32, n),
+		labelOf:   make([]int, n),
+		rowPos:    make([]int, n),
+		labelLen:  make([]int, inst.NumLabels),
+	}
+	for i := 0; i < n; i++ {
+		e.pins[i] = -1
+		l := inst.Labels[i]
+		e.labelOf[i] = l
+		e.rowPos[i] = e.labelLen[l]
+		e.labelLen[l]++
+	}
+	return e
+}
+
+// Instance returns the similarity view the engine answers queries over.
+func (e *Engine) Instance() *Instance { return e.inst }
+
+// N returns the number of training examples.
+func (e *Engine) N() int { return e.inst.N() }
+
+// SetPin permanently fixes row to its cand-th candidate (cleaning); cand = -1
+// clears the pin. Not safe to call concurrently with queries.
+func (e *Engine) SetPin(row, cand int) {
+	if cand >= 0 && cand >= e.inst.M(row) {
+		panic(fmt.Sprintf("core: pin candidate %d out of range for row %d (M=%d)", cand, row, e.inst.M(row)))
+	}
+	e.pins[row] = int32(cand)
+}
+
+// Pin returns the pinned candidate of row, or -1.
+func (e *Engine) Pin(row int) int { return int(e.pins[row]) }
+
+// PinnedCount returns the number of pinned rows.
+func (e *Engine) PinnedCount() int {
+	n := 0
+	for _, p := range e.pins {
+		if p >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WorldCount returns the number of possible worlds remaining under the pins.
+func (e *Engine) WorldCount() *big.Int {
+	total := big.NewInt(1)
+	for i := 0; i < e.N(); i++ {
+		if e.pins[i] < 0 {
+			total.Mul(total, big.NewInt(int64(e.inst.M(i))))
+		}
+	}
+	return total
+}
+
+// Scratch holds per-goroutine query state for an Engine. A Scratch is bound
+// to one (engine, K) pair and must not be shared between goroutines. It may
+// be reused across engines of identical shape (same N, labels in the same
+// order) — CPClean exploits this across validation-point engines.
+type Scratch struct {
+	k       int
+	trees   []*segtree.PolyTree
+	alpha   []int32
+	leafP0  [][]float64 // per-label bulk leaf staging
+	leafP1  [][]float64
+	counts  []float64
+	tallies [][]int
+	winners []int
+	// SS-DC-MC winner-cap DP buffers.
+	dpA, dpB []float64
+	// Cached root views (stable slices into each tree's backing array).
+	rootsNormal [][]float64
+	// HypothesisCounts state: one alternate (pre-state) tree per label,
+	// prefix snapshots and per-pin outputs.
+	altTrees []*segtree.PolyTree
+	rootsPre [][]float64
+	cumPre   []float64
+	cumPost  []float64
+	snapPre  [][]float64
+	snapPost [][]float64
+	own      [][]float64
+	hyp      [][]float64
+}
+
+// NewScratch allocates query state for queries with the given K.
+func (e *Engine) NewScratch(k int) (*Scratch, error) {
+	if err := validateK(e.inst, k); err != nil {
+		return nil, err
+	}
+	sc := &Scratch{
+		k:      k,
+		alpha:  make([]int32, e.N()),
+		counts: make([]float64, e.numLabels),
+		dpA:    make([]float64, k+1),
+		dpB:    make([]float64, k+1),
+	}
+	for l := 0; l < e.numLabels; l++ {
+		sc.trees = append(sc.trees, segtree.New(e.labelLen[l], k))
+		sc.altTrees = append(sc.altTrees, segtree.New(e.labelLen[l], k))
+		sc.leafP0 = append(sc.leafP0, make([]float64, e.labelLen[l]))
+		sc.leafP1 = append(sc.leafP1, make([]float64, e.labelLen[l]))
+	}
+	sc.rootsNormal = make([][]float64, e.numLabels)
+	sc.rootsPre = make([][]float64, e.numLabels)
+	for l := 0; l < e.numLabels; l++ {
+		sc.rootsNormal[l] = sc.trees[l].Root()
+	}
+	sc.cumPre = make([]float64, e.numLabels)
+	sc.cumPost = make([]float64, e.numLabels)
+	sc.tallies = compositions(k, e.numLabels)
+	sc.winners = make([]int, len(sc.tallies))
+	for ti, g := range sc.tallies {
+		sc.winners[ti] = argmaxTally(g)
+	}
+	return sc, nil
+}
+
+// MustScratch is NewScratch but panics on error.
+func (e *Engine) MustScratch(k int) *Scratch {
+	sc, err := e.NewScratch(k)
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}
+
+// chosen returns the forced candidate of row under pins and the per-query
+// override, or -1 if the row is uncertain.
+func (e *Engine) chosen(row int, overrideRow, overrideCand int) int {
+	if row == overrideRow {
+		return overrideCand
+	}
+	return int(e.pins[row])
+}
+
+// Counts answers Q2 with SS-DC. overrideRow/overrideCand (-1,-1 for none)
+// hypothetically clean one row for the duration of the query. The returned
+// slice (owned by sc) holds normalized fractions: out[y] = Q2/|worlds|.
+func (e *Engine) Counts(sc *Scratch, overrideRow, overrideCand int) []float64 {
+	inst := e.inst
+	for i := range sc.alpha {
+		sc.alpha[i] = 0
+	}
+	for y := range sc.counts {
+		sc.counts[y] = 0
+	}
+
+	// zeroRows counts rows with α = 0. Every such row must place a candidate
+	// in the top-K (all its candidates are more similar than the boundary),
+	// so while zeroRows > K−1 (excluding the boundary row, whose α has just
+	// been incremented) the boundary support is identically zero. During
+	// that prefix only α is maintained; the trees are built in one bulk pass
+	// at the transition (built = false until then).
+	zeroRows := e.N()
+	built := false
+	for _, ref := range e.order {
+		i := int(ref.row)
+		j := int(ref.cand)
+		ch := e.chosen(i, overrideRow, overrideCand)
+		if ch >= 0 && j != ch {
+			continue // candidate eliminated by cleaning
+		}
+		mEff := inst.M(i)
+		if ch >= 0 {
+			mEff = 1
+		}
+		sc.alpha[i]++
+		if sc.alpha[i] == 1 {
+			zeroRows--
+		}
+		if zeroRows > sc.k-1 {
+			continue // provably zero boundary support; trees not needed yet
+		}
+		if !built {
+			e.buildLeaves(sc, overrideRow, overrideCand)
+			built = true
+		}
+		a := float64(sc.alpha[i]) / float64(mEff)
+		tr := sc.trees[e.labelOf[i]]
+		pos := e.rowPos[i]
+		// Query with row i forced onto the boundary: it contributes exactly
+		// one top-K slot, with probability 1/mEff of picking candidate j.
+		tr.SetLeaf(pos, 0, 1/float64(mEff))
+		e.accumulate(sc)
+		// Restore the leaf to its scanned state [α/M, 1−α/M].
+		tr.SetLeaf(pos, a, 1-a)
+	}
+	return sc.counts
+}
+
+// buildLeaves bulk-initializes every label tree from the current α state:
+// leaf n = [α_n/M_n, 1−α_n/M_n] with M_n = 1 for pinned/overridden rows.
+func (e *Engine) buildLeaves(sc *Scratch, overrideRow, overrideCand int) {
+	for i := 0; i < e.N(); i++ {
+		mEff := e.inst.M(i)
+		if e.chosen(i, overrideRow, overrideCand) >= 0 {
+			mEff = 1
+		}
+		a := float64(sc.alpha[i]) / float64(mEff)
+		l := e.labelOf[i]
+		sc.leafP0[l][e.rowPos[i]] = a
+		sc.leafP1[l][e.rowPos[i]] = 1 - a
+	}
+	for l, tr := range sc.trees {
+		n := e.labelLen[l]
+		tr.ResetLeaves(sc.leafP0[l][:n], sc.leafP1[l][:n])
+	}
+}
+
+// accumulate adds the supports of every valid label tally for the current
+// boundary candidate into sc.counts (Algorithm 1, lines 9-12).
+func (e *Engine) accumulate(sc *Scratch) {
+	accumulateInto(sc, sc.rootsNormal, sc.counts)
+}
+
+// accumulateInto tallies every composition against the given per-label root
+// polynomials, adding each support to out[winner].
+func accumulateInto(sc *Scratch, roots [][]float64, out []float64) {
+	for ti, g := range sc.tallies {
+		prod := 1.0
+		for l, c := range g {
+			v := roots[l][c]
+			if v == 0 {
+				prod = 0
+				break
+			}
+			prod *= v
+		}
+		if prod != 0 {
+			out[sc.winners[ti]] += prod
+		}
+	}
+}
+
+// CountsMC answers Q2 with the appendix-A.3 multi-class variant: instead of
+// enumerating all C(K+|Y|−1, K) label tallies, for each winning label l and
+// winning tally c it runs a winner-cap DP over the other labels (labels
+// smaller than l capped at c−1, larger capped at c — realizing the
+// smallest-label vote tie-break exactly). O(|Y|²K³) per scanned candidate,
+// polynomial in |Y|.
+func (e *Engine) CountsMC(sc *Scratch, overrideRow, overrideCand int) []float64 {
+	inst := e.inst
+	for i := range sc.alpha {
+		sc.alpha[i] = 0
+	}
+	for y := range sc.counts {
+		sc.counts[y] = 0
+	}
+	zeroRows := e.N()
+	built := false
+	for _, ref := range e.order {
+		i := int(ref.row)
+		j := int(ref.cand)
+		ch := e.chosen(i, overrideRow, overrideCand)
+		if ch >= 0 && j != ch {
+			continue
+		}
+		mEff := inst.M(i)
+		if ch >= 0 {
+			mEff = 1
+		}
+		sc.alpha[i]++
+		if sc.alpha[i] == 1 {
+			zeroRows--
+		}
+		if zeroRows > sc.k-1 {
+			continue
+		}
+		if !built {
+			e.buildLeaves(sc, overrideRow, overrideCand)
+			built = true
+		}
+		a := float64(sc.alpha[i]) / float64(mEff)
+		tr := sc.trees[e.labelOf[i]]
+		pos := e.rowPos[i]
+		tr.SetLeaf(pos, 0, 1/float64(mEff))
+		e.accumulateMC(sc)
+		tr.SetLeaf(pos, a, 1-a)
+	}
+	return sc.counts
+}
+
+// accumulateMC adds supports via the winner-cap DP.
+func (e *Engine) accumulateMC(sc *Scratch) {
+	k := sc.k
+	for l := 0; l < e.numLabels; l++ {
+		rootL := sc.trees[l].Root()
+		for c := 1; c <= k; c++ {
+			wl := rootL[c]
+			if wl == 0 {
+				continue
+			}
+			// DP over the other labels filling the remaining k−c slots,
+			// each label l' capped at c−1 (l' < l) or c (l' > l).
+			rem := k - c
+			dp := sc.dpA[:rem+1]
+			next := sc.dpB[:rem+1]
+			for s := range dp {
+				dp[s] = 0
+			}
+			dp[0] = 1
+			for lp := 0; lp < e.numLabels; lp++ {
+				if lp == l {
+					continue
+				}
+				capL := c
+				if lp < l {
+					capL = c - 1
+				}
+				rootP := sc.trees[lp].Root()
+				for s := 0; s <= rem; s++ {
+					acc := 0.0
+					hi := s
+					if hi > capL {
+						hi = capL
+					}
+					for u := 0; u <= hi; u++ {
+						if rootP[u] != 0 && dp[s-u] != 0 {
+							acc += rootP[u] * dp[s-u]
+						}
+					}
+					next[s] = acc
+				}
+				dp, next = next, dp
+			}
+			if dp[rem] != 0 {
+				sc.counts[l] += wl * dp[rem]
+			}
+		}
+	}
+}
+
+// Entropy returns the Shannon entropy (nats) of the Q2 distribution under
+// the given override — the quantity CPClean greedily minimizes (§4, Eq. 3).
+func (e *Engine) Entropy(sc *Scratch, overrideRow, overrideCand int) float64 {
+	return Entropy(e.Counts(sc, overrideRow, overrideCand))
+}
+
+// ensureHyp sizes the per-pin HypothesisCounts buffers.
+func (sc *Scratch) ensureHyp(m, numLabels int) {
+	for len(sc.snapPre) < m {
+		sc.snapPre = append(sc.snapPre, make([]float64, numLabels))
+		sc.snapPost = append(sc.snapPost, make([]float64, numLabels))
+		sc.own = append(sc.own, make([]float64, numLabels))
+		sc.hyp = append(sc.hyp, make([]float64, numLabels))
+	}
+}
+
+// HypothesisCounts answers, for *every* candidate j of the given row, the Q2
+// query under the hypothetical cleaning "pin row to j" — the inner loop of
+// CPClean's expected-entropy computation (Eq. 4) — in a single combined scan
+// instead of M separate ones.
+//
+// Key observation: across the M pinned worlds, only two things vary —
+//
+//  1. when another candidate (n, m) is the boundary, row `row`'s chosen value
+//     is either still unscanned (more similar ⇒ row occupies a top-K slot;
+//     its DP leaf is [0,1] — the *pre* state) or already scanned (less
+//     similar ⇒ leaf [1,0] — the *post* state), determined solely by whether
+//     (n, m) precedes candidate (row, j) in the scan order; and
+//  2. row `row`'s own boundary term, which for pin j is the support of
+//     candidate (row, j) with the row forced onto the boundary.
+//
+// So one scan maintains two trees for the row's label (pre and post leaf
+// state), accumulates *both* supports per scanned candidate into running
+// prefix sums, snapshots the prefixes at each (row, j), and assembles
+//
+//	Q2_j = cumPre(before j) + [cumPost(total) − cumPost(before j)] + own_j.
+//
+// The returned slice holds M normalized distributions (aliasing sc buffers;
+// valid until the next call).
+func (e *Engine) HypothesisCounts(sc *Scratch, row int) [][]float64 {
+	inst := e.inst
+	if e.pins[row] >= 0 {
+		panic("core: HypothesisCounts on a pinned row")
+	}
+	m := inst.M(row)
+	lRow := e.labelOf[row]
+	posRow := e.rowPos[row]
+	sc.ensureHyp(m, e.numLabels)
+	for i := range sc.alpha {
+		sc.alpha[i] = 0
+	}
+	for y := 0; y < e.numLabels; y++ {
+		sc.cumPre[y] = 0
+		sc.cumPost[y] = 0
+	}
+	// rootsPre views the alternate tree for the row's label.
+	copy(sc.rootsPre, sc.rootsNormal)
+	sc.rootsPre[lRow] = sc.altTrees[lRow].Root()
+	preTree := sc.altTrees[lRow]
+	postTree := sc.trees[lRow]
+
+	// zeroOthers counts rows ≠ row with α = 0; while it exceeds K−1, both
+	// the pre and post supports of any boundary candidate are zero, as is
+	// the row's own boundary support.
+	zeroOthers := e.N() - 1
+	built := false
+	build := func() {
+		e.buildLeaves(sc, -1, -1)
+		// Mirror the row-label tree into the pre tree, then fix the row's
+		// leaf states: post [1,0] (row's value less similar than boundary),
+		// pre [0,1] (row forced into the top-K).
+		n := e.labelLen[lRow]
+		preTree.ResetLeaves(sc.leafP0[lRow][:n], sc.leafP1[lRow][:n])
+		postTree.SetLeaf(posRow, 1, 0)
+		preTree.SetLeaf(posRow, 0, 1)
+		built = true
+	}
+	for _, ref := range e.order {
+		i := int(ref.row)
+		j := int(ref.cand)
+		if i == row {
+			// Snapshot the prefix sums for pin j and compute its own
+			// boundary term (row forced onto the boundary ≡ the pre tree,
+			// with a pinned row's 1/M_eff = 1).
+			copy(sc.snapPre[j], sc.cumPre)
+			copy(sc.snapPost[j], sc.cumPost)
+			for y := range sc.own[j] {
+				sc.own[j][y] = 0
+			}
+			if zeroOthers <= sc.k-1 {
+				if !built {
+					build()
+				}
+				accumulateInto(sc, sc.rootsPre, sc.own[j])
+			}
+			continue
+		}
+		ch := int(e.pins[i])
+		if ch >= 0 && j != ch {
+			continue
+		}
+		mEff := inst.M(i)
+		if ch >= 0 {
+			mEff = 1
+		}
+		sc.alpha[i]++
+		if sc.alpha[i] == 1 {
+			zeroOthers--
+		}
+		if zeroOthers > sc.k-1 {
+			continue
+		}
+		if !built {
+			build()
+		}
+		a := float64(sc.alpha[i]) / float64(mEff)
+		l := e.labelOf[i]
+		pos := e.rowPos[i]
+		force0, force1 := 0.0, 1/float64(mEff)
+		// Force row i onto the boundary in its tree(s), accumulate both
+		// states, restore.
+		sc.trees[l].SetLeaf(pos, force0, force1)
+		if l == lRow {
+			preTree.SetLeaf(pos, force0, force1)
+		}
+		accumulateInto(sc, sc.rootsNormal, sc.cumPost)
+		accumulateInto(sc, sc.rootsPre, sc.cumPre)
+		sc.trees[l].SetLeaf(pos, a, 1-a)
+		if l == lRow {
+			preTree.SetLeaf(pos, a, 1-a)
+		}
+	}
+	// Assemble the per-pin distributions.
+	for j := 0; j < m; j++ {
+		out := sc.hyp[j]
+		for y := 0; y < e.numLabels; y++ {
+			out[y] = sc.snapPre[j][y] + (sc.cumPost[y] - sc.snapPost[j][y]) + sc.own[j][y]
+		}
+	}
+	return sc.hyp[:m]
+}
+
+// RelevantRows reports, per training row, whether the row can appear in the
+// test point's top-K in *any* possible world under the current pins. If not,
+// every world's prediction is independent of that row's candidate choice, so
+// pinning it cannot change the Q2 distribution — CPClean uses this to skip
+// hypothesis evaluations wholesale.
+//
+// Soundness: let bound be the (K+1)-th largest per-row *worst* (least
+// similar) valid candidate similarity. If row i's *best* valid candidate
+// similarity is strictly below bound, then in every world at least K rows
+// other than i choose candidates strictly more similar than anything row i
+// can offer, so row i is never in the top-K. Ties are kept relevant
+// (conservative).
+func (e *Engine) RelevantRows(k int) []bool {
+	n := e.N()
+	rel := make([]bool, n)
+	if n <= k {
+		for i := range rel {
+			rel[i] = true
+		}
+		return rel
+	}
+	worst := make([]float64, n)
+	best := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ch := int(e.pins[i])
+		if ch >= 0 {
+			worst[i] = e.inst.Sims[i][ch]
+			best[i] = worst[i]
+			continue
+		}
+		row := e.inst.Sims[i]
+		lo, hi := row[0], row[0]
+		for _, s := range row[1:] {
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		worst[i] = lo
+		best[i] = hi
+	}
+	sorted := append([]float64(nil), worst...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	bound := sorted[k] // (k+1)-th largest
+	for i := 0; i < n; i++ {
+		rel[i] = best[i] >= bound
+	}
+	return rel
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's Certain Prediction (CP) primitives for
+// K-nearest-neighbor classifiers: the checking query Q1 and the counting
+// query Q2 over the exponentially many possible worlds of an incomplete
+// dataset, answered in polynomial time.
+//
+// Implementations provided (Figure 4 of the paper):
+//
+//   - Brute force — enumerates possible worlds; exponential, used as the
+//     ground truth in tests (BruteForceCounts).
+//   - SS (SortScan), naive exact — O((NM)²·K·|Y|) with math/big integers
+//     (SSExactCounts); the verification reference for large-count cases.
+//   - SS for K = 1 — the O(NM log NM) incremental scan of §3.1.2
+//     (SSFastCounts, SSFastExactCounts).
+//   - SS-DC — the general O(NM·(log NM + K²·log N)) algorithm of §3.1.3 +
+//     appendix A.2, built on a segment tree of truncated polynomial products
+//     (Engine.Counts).
+//   - SS-DC-MC — the multi-class variant of appendix A.3, polynomial in |Y|
+//     (Engine.CountsMC).
+//   - MM (MinMax) — Q1 for binary labels in O(NM + N log K) via l-extreme
+//     worlds, §3.2 (Engine.CheckMM, MMCheck).
+//
+// All algorithms share one strict total order over candidates (descending
+// similarity, ties to the lexicographically smaller (row, candidate) pair)
+// and one vote tie-break (smallest label), so their answers agree exactly.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// Instance is an incomplete training set viewed through the lens of a single
+// test point: only the candidate similarities and the labels remain.
+// Sims[i][j] is κ(x_{i,j}, t) for candidate j of training example i.
+type Instance struct {
+	Sims      [][]float64
+	Labels    []int
+	NumLabels int
+}
+
+// NewInstance validates shapes and label ranges.
+func NewInstance(sims [][]float64, labels []int, numLabels int) (*Instance, error) {
+	if len(sims) != len(labels) {
+		return nil, fmt.Errorf("core: %d similarity rows but %d labels", len(sims), len(labels))
+	}
+	if numLabels < 2 {
+		return nil, fmt.Errorf("core: need at least 2 labels, got %d", numLabels)
+	}
+	for i, row := range sims {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("core: example %d has no candidates", i)
+		}
+		if labels[i] < 0 || labels[i] >= numLabels {
+			return nil, fmt.Errorf("core: label %d at example %d out of range [0,%d)", labels[i], i, numLabels)
+		}
+	}
+	return &Instance{Sims: sims, Labels: labels, NumLabels: numLabels}, nil
+}
+
+// MustNewInstance is NewInstance but panics on error.
+func MustNewInstance(sims [][]float64, labels []int, numLabels int) *Instance {
+	inst, err := NewInstance(sims, labels, numLabels)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// InstanceFor computes the similarity view of incomplete dataset d with
+// respect to test point t under the given kernel.
+func InstanceFor(d *dataset.Incomplete, kernel knn.Kernel, t []float64) *Instance {
+	sims := make([][]float64, d.N())
+	labels := make([]int, d.N())
+	for i := range d.Examples {
+		ex := &d.Examples[i]
+		row := make([]float64, ex.M())
+		for j, c := range ex.Candidates {
+			row[j] = kernel.Similarity(c, t)
+		}
+		sims[i] = row
+		labels[i] = ex.Label
+	}
+	return &Instance{Sims: sims, Labels: labels, NumLabels: d.NumLabels}
+}
+
+// N returns the number of training examples.
+func (in *Instance) N() int { return len(in.Labels) }
+
+// M returns the candidate count of example i.
+func (in *Instance) M(i int) int { return len(in.Sims[i]) }
+
+// TotalCandidates returns Σ_i M_i.
+func (in *Instance) TotalCandidates() int {
+	s := 0
+	for _, row := range in.Sims {
+		s += len(row)
+	}
+	return s
+}
+
+// MoreSimilar reports whether candidate (i1,j1) is strictly more similar to
+// the test point than (i2,j2) under the package's total order: higher
+// similarity wins; exact ties go to the lexicographically smaller (i,j).
+// The paper assumes no ties ("we can always break a tie by favoring a
+// smaller i and j"); this order realizes that assumption.
+func (in *Instance) MoreSimilar(i1, j1, i2, j2 int) bool {
+	s1, s2 := in.Sims[i1][j1], in.Sims[i2][j2]
+	if s1 != s2 {
+		return s1 > s2
+	}
+	if i1 != i2 {
+		return i1 < i2
+	}
+	return j1 < j2
+}
+
+// candRef identifies one candidate value.
+type candRef struct {
+	row, cand int32
+}
+
+// sortedCandidates returns every candidate reference ordered by ascending
+// similarity (least similar first), the scan order of the SS algorithms.
+func (in *Instance) sortedCandidates() []candRef {
+	out := make([]candRef, 0, in.TotalCandidates())
+	for i, row := range in.Sims {
+		for j := range row {
+			out = append(out, candRef{int32(i), int32(j)})
+		}
+	}
+	// Ascending similarity: a scans before b iff b is more similar than a.
+	sort.Slice(out, func(x, y int) bool {
+		a, b := out[x], out[y]
+		return in.MoreSimilar(int(b.row), int(b.cand), int(a.row), int(a.cand))
+	})
+	return out
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// extremePrediction classifies the l-extreme world E_l (§3.2, appendix B):
+// each row with label l takes its *most* similar valid candidate, every
+// other row its *least* similar valid candidate. chosen(i) ≥ 0 restricts a
+// row to a single candidate (pins/overrides). Returns the K-NN prediction
+// of E_l.
+func extremePrediction(inst *Instance, l, k int, chosen func(row int) int) int {
+	n := inst.N()
+	// h keeps the K most similar rows; root = least similar kept.
+	h := make(mmHeap, 0, k)
+	for i := 0; i < n; i++ {
+		j := pickExtreme(inst, i, inst.Labels[i] == l, chosen)
+		nb := mmNeighbor{row: i, cand: j}
+		if len(h) < k {
+			h = append(h, nb)
+			if len(h) == k {
+				heap.Init(&mmHeapWrap{inst: inst, h: &h})
+			}
+			continue
+		}
+		w := &mmHeapWrap{inst: inst, h: &h}
+		if inst.MoreSimilar(nb.row, nb.cand, h[0].row, h[0].cand) {
+			h[0] = nb
+			heap.Fix(w, 0)
+		}
+	}
+	tally := make([]int, inst.NumLabels)
+	for _, nb := range h {
+		tally[inst.Labels[nb.row]]++
+	}
+	return argmaxTally(tally)
+}
+
+// pickExtreme returns the most (wantMax) or least similar valid candidate of
+// row i under the total order.
+func pickExtreme(inst *Instance, i int, wantMax bool, chosen func(row int) int) int {
+	if ch := chosen(i); ch >= 0 {
+		return ch
+	}
+	best := 0
+	for j := 1; j < inst.M(i); j++ {
+		more := inst.MoreSimilar(i, j, i, best)
+		if more == wantMax {
+			best = j
+		}
+	}
+	return best
+}
+
+// mmNeighbor is a (row, chosen candidate) pair inside an MM extreme world.
+type mmNeighbor struct{ row, cand int }
+
+type mmHeap []mmNeighbor
+
+// mmHeapWrap implements heap.Interface with access to the instance's total
+// order; the root is the least similar kept neighbor.
+type mmHeapWrap struct {
+	inst *Instance
+	h    *mmHeap
+}
+
+func (w *mmHeapWrap) Len() int { return len(*w.h) }
+func (w *mmHeapWrap) Less(i, j int) bool {
+	a, b := (*w.h)[i], (*w.h)[j]
+	return w.inst.MoreSimilar(b.row, b.cand, a.row, a.cand)
+}
+func (w *mmHeapWrap) Swap(i, j int)      { (*w.h)[i], (*w.h)[j] = (*w.h)[j], (*w.h)[i] }
+func (w *mmHeapWrap) Push(x interface{}) { *w.h = append(*w.h, x.(mmNeighbor)) }
+func (w *mmHeapWrap) Pop() interface{} {
+	old := *w.h
+	n := len(old)
+	x := old[n-1]
+	*w.h = old[:n-1]
+	return x
+}
+
+// MMCheck answers Q1 for binary classification with the MinMax algorithm
+// (Algorithm 2): label y can be certainly predicted iff its own extreme
+// world predicts it and no other label's extreme world predicts that other
+// label. O(NM + |Y|·(N log K + K)). It returns an error for |Y| > 2, where
+// the extreme-world argument is unsound (appendix B, Lemma B.1 case 3).
+func MMCheck(inst *Instance, k int) ([]bool, error) {
+	if inst.NumLabels != 2 {
+		return nil, fmt.Errorf("core: MM algorithm requires binary labels, got |Y|=%d", inst.NumLabels)
+	}
+	if err := validateK(inst, k); err != nil {
+		return nil, err
+	}
+	return mmCheck(inst, k, func(int) int { return -1 }), nil
+}
+
+// mmCheck is the shared MM body; chosen encodes pins/overrides.
+func mmCheck(inst *Instance, k int, chosen func(row int) int) []bool {
+	possible := make([]bool, inst.NumLabels)
+	for l := 0; l < inst.NumLabels; l++ {
+		// ∃ world predicting l ⟺ E_l predicts l (Lemma B.2).
+		possible[l] = extremePrediction(inst, l, k, chosen) == l
+	}
+	out := make([]bool, inst.NumLabels)
+	for l := range out {
+		ok := possible[l]
+		for lp := range possible {
+			if lp != l && possible[lp] {
+				ok = false
+			}
+		}
+		out[l] = ok
+	}
+	return out
+}
+
+// CheckMM answers Q1 under the engine's pins plus an optional per-query
+// override. Binary labels only.
+func (e *Engine) CheckMM(k, overrideRow, overrideCand int) ([]bool, error) {
+	if e.numLabels != 2 {
+		return nil, fmt.Errorf("core: MM algorithm requires binary labels, got |Y|=%d", e.numLabels)
+	}
+	if err := validateK(e.inst, k); err != nil {
+		return nil, err
+	}
+	return mmCheck(e.inst, k, func(row int) int {
+		return e.chosen(row, overrideRow, overrideCand)
+	}), nil
+}
+
+// IsCertainMM reports whether the test point is CP'ed (some label certainly
+// predicted) under the engine's pins. Binary labels only.
+func (e *Engine) IsCertainMM(k int) (bool, error) {
+	q1, err := e.CheckMM(k, -1, -1)
+	if err != nil {
+		return false, err
+	}
+	for _, b := range q1 {
+		if b {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+func TestAlgorithmStrings(t *testing.T) {
+	algs := []Algorithm{Auto, BruteForce, SSExact, SSFast, SSDC, SSDCMC, MM}
+	seen := map[string]bool{}
+	for _, a := range algs {
+		s := a.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("algorithm %d stringifies to %q", int(a), s)
+		}
+		seen[s] = true
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Fatal("out-of-range algorithm should be unknown")
+	}
+}
+
+func TestQ2DispatchAllAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomInstance(rng, 4+rng.Intn(4), 3, 2)
+		k := 1 + rng.Intn(3)
+		ref, err := Q2(inst, k, BruteForce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{SSExact, SSDC, SSDCMC, Auto} {
+			got, err := Q2(inst, k, alg)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if d := maxAbsDiff(got, ref); d > 1e-9 {
+				t.Fatalf("trial %d: %v disagrees with brute force by %g", trial, alg, d)
+			}
+		}
+		if k == 1 {
+			got, err := Q2(inst, 1, SSFast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := maxAbsDiff(got, ref); d > 1e-9 {
+				t.Fatalf("trial %d: ss-fast disagrees by %g", trial, d)
+			}
+		}
+	}
+}
+
+func TestQ1DispatchAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		inst := randomInstance(rng, 4+rng.Intn(4), 3, 2)
+		k := 1 + rng.Intn(3)
+		ref, err := Q1(inst, k, BruteForce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{MM, SSExact, SSDC, Auto} {
+			got, err := Q1(inst, k, alg)
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			for y := range ref {
+				if got[y] != ref[y] {
+					t.Fatalf("trial %d: %v label %d = %v, want %v", trial, alg, y, got[y], ref[y])
+				}
+			}
+		}
+	}
+}
+
+func TestQueryDatasetEndToEnd(t *testing.T) {
+	d := dataset.MustNew([]dataset.Example{
+		{Candidates: [][]float64{{0}}, Label: 0},
+		{Candidates: [][]float64{{1}}, Label: 1},
+		{Candidates: [][]float64{{0.4}, {0.6}}, Label: 1},
+	}, 2)
+	q1, q2, err := QueryDataset(d, knn.NegEuclidean{}, []float64{0.9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearest to 0.9 is row 1 (sim −0.1) or row 2 at 0.6 (sim −0.3)? Row 1
+	// always wins; both have label 1 anyway → certain.
+	if !q1[1] || q2[1] != 1 {
+		t.Fatalf("q1=%v q2=%v", q1, q2)
+	}
+}
+
+func TestValidateK(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1}, {2}}, []int{0, 1}, 2)
+	if _, err := Q2(inst, 0, SSDC); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Q2(inst, 3, SSDC); err == nil {
+		t.Fatal("K>N accepted")
+	}
+	if _, err := BruteForceCounts(inst, 5); err == nil {
+		t.Fatal("brute force K>N accepted")
+	}
+}
+
+func TestBruteForceRefusesHugeInstances(t *testing.T) {
+	// 30 rows × 5 candidates = 5^30 worlds — must be refused, not attempted.
+	rng := rand.New(rand.NewSource(43))
+	sims := make([][]float64, 30)
+	labels := make([]int, 30)
+	for i := range sims {
+		sims[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		labels[i] = i % 2
+	}
+	inst := MustNewInstance(sims, labels, 2)
+	if _, err := BruteForceCounts(inst, 1); err == nil {
+		t.Fatal("huge instance accepted")
+	}
+}
+
+func TestMonteCarloApproximatesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(rng, 6, 3, 2)
+		k := 1 + rng.Intn(3)
+		exact, err := Q2(inst, k, SSDC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const samples = 4000
+		est, err := MonteCarloCounts(inst, k, samples, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !MonteCarloAgrees(exact, est, samples, 5) {
+			t.Fatalf("trial %d: exact %v vs estimate %v beyond 5σ", trial, exact, est)
+		}
+	}
+}
+
+func TestMonteCarloCheckNeverFalseNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 5, 3, 2)
+		k := 1 + rng.Intn(2)
+		exact, err := Q1(inst, k, SSExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, err := MonteCarloCheck(inst, k, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for y := range exact {
+			if exact[y] && !mc[y] {
+				t.Fatalf("trial %d: certain label %d reported uncertain by sampling", trial, y)
+			}
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1}, {2}}, []int{0, 1}, 2)
+	if _, err := MonteCarloCounts(inst, 1, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero samples accepted")
+	}
+}
+
+// Property: Q1(y) true implies Q2(y) == 1 and all other labels impossible.
+func TestQ1Q2ConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r, 3+r.Intn(5), 3, 2)
+		k := 1 + r.Intn(2)
+		q1, err := Q1(inst, k, SSExact)
+		if err != nil {
+			return false
+		}
+		q2, err := Q2(inst, k, SSExact)
+		if err != nil {
+			return false
+		}
+		for y := range q1 {
+			if q1[y] && (q2[y] < 1-1e-9) {
+				return false
+			}
+			if q1[y] {
+				for yy := range q2 {
+					if yy != y && q2[yy] > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pinning any single row never increases the support spread beyond
+// bounds — specifically, normalized Q2 remains a distribution.
+func TestPinnedCountsRemainDistributionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		inst := randomInstance(r, 4+r.Intn(6), 4, 2+r.Intn(2))
+		k := 1 + r.Intn(3)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		row := r.Intn(inst.N())
+		cand := r.Intn(inst.M(row))
+		p := e.Counts(sc, row, cand)
+		sum := 0.0
+		for _, v := range p {
+			if v < -1e-12 || v > 1+1e-9 {
+				return false
+			}
+			sum += v
+		}
+		return sum > 1-1e-9 && sum < 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

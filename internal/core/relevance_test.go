@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRelevantRowsSoundness verifies the exact property the CPClean pruning
+// relies on: pinning an irrelevant row (any candidate) leaves the Q2
+// distribution bit-for-bit unchanged.
+func TestRelevantRowsSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 40; trial++ {
+		inst := randomInstance(rng, 6+rng.Intn(10), 4, 2)
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		rel := e.RelevantRows(k)
+		base := append([]float64(nil), e.Counts(sc, -1, -1)...)
+		for i, r := range rel {
+			if r {
+				continue
+			}
+			for j := 0; j < inst.M(i); j++ {
+				got := e.Counts(sc, i, j)
+				for y := range got {
+					if got[y] != base[y] {
+						t.Fatalf("trial %d: pinning irrelevant row %d to cand %d changed Q2: %v vs %v",
+							trial, i, j, got, base)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelevantRowsUnderPins checks the filter stays sound once rows are
+// pinned (the cleaning loop's steady state).
+func TestRelevantRowsUnderPins(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 8, 3, 2)
+		k := 1 + rng.Intn(2)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		for i := 0; i < inst.N(); i++ {
+			if rng.Intn(3) == 0 {
+				e.SetPin(i, rng.Intn(inst.M(i)))
+			}
+		}
+		rel := e.RelevantRows(k)
+		base := append([]float64(nil), e.Counts(sc, -1, -1)...)
+		for i, r := range rel {
+			if r || e.Pin(i) >= 0 {
+				continue
+			}
+			for j := 0; j < inst.M(i); j++ {
+				got := e.Counts(sc, i, j)
+				for y := range got {
+					if got[y] != base[y] {
+						t.Fatalf("trial %d: pinned-state irrelevant row %d cand %d changed Q2", trial, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRelevantRowsAlwaysIncludesTopRows sanity-checks that rows whose only
+// candidate is globally most similar are always flagged relevant.
+func TestRelevantRowsAlwaysIncludesTopRows(t *testing.T) {
+	inst := MustNewInstance([][]float64{
+		{10}, {9}, {1, 2}, {0},
+	}, []int{0, 1, 0, 1}, 2)
+	e := NewEngineFromInstance(inst)
+	rel := e.RelevantRows(2)
+	if !rel[0] || !rel[1] {
+		t.Fatalf("top rows marked irrelevant: %v", rel)
+	}
+	// Row 3 (sim 0) can never beat rows 0,1 for K=2.
+	if rel[3] {
+		t.Fatalf("hopeless row marked relevant: %v", rel)
+	}
+}
+
+// TestRelevantRowsSmallN ensures everything is relevant when N ≤ K.
+func TestRelevantRowsSmallN(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1}, {2}}, []int{0, 1}, 2)
+	e := NewEngineFromInstance(inst)
+	for _, r := range e.RelevantRows(2) {
+		if !r {
+			t.Fatal("row irrelevant with N == K")
+		}
+	}
+}
+
+// TestHypothesisCountsMatchesPerPinCounts verifies the combined-scan
+// hypothesis evaluator against M independent override queries.
+func TestHypothesisCountsMatchesPerPinCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		numLabels := 2 + rng.Intn(2)
+		inst := randomInstance(rng, 4+rng.Intn(8), 4, numLabels)
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		// Random pins on some other rows.
+		for i := 0; i < inst.N(); i++ {
+			if rng.Intn(4) == 0 {
+				e.SetPin(i, rng.Intn(inst.M(i)))
+			}
+		}
+		for row := 0; row < inst.N(); row++ {
+			if e.Pin(row) >= 0 {
+				continue
+			}
+			hyp := e.HypothesisCounts(sc, row)
+			// Copy: hyp aliases scratch reused by Counts below.
+			got := make([][]float64, len(hyp))
+			for j := range hyp {
+				got[j] = append([]float64(nil), hyp[j]...)
+			}
+			for j := 0; j < inst.M(row); j++ {
+				want := e.Counts(sc, row, j)
+				for y := range want {
+					if d := got[j][y] - want[y]; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("trial %d row %d pin %d label %d: hyp=%v want=%v (N=%d K=%d)",
+							trial, row, j, y, got[j][y], want[y], inst.N(), k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHypothesisCountsWithTies exercises the combined scan under duplicated
+// similarities.
+func TestHypothesisCountsWithTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		inst := tiedInstance(rng, 4+rng.Intn(6), 3, 2)
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		for row := 0; row < inst.N(); row++ {
+			hyp := e.HypothesisCounts(sc, row)
+			got := make([][]float64, len(hyp))
+			for j := range hyp {
+				got[j] = append([]float64(nil), hyp[j]...)
+			}
+			for j := 0; j < inst.M(row); j++ {
+				want := e.Counts(sc, row, j)
+				for y := range want {
+					if d := got[j][y] - want[y]; d > 1e-9 || d < -1e-9 {
+						t.Fatalf("tied trial %d row %d pin %d: %v vs %v", trial, row, j, got[j], want)
+					}
+				}
+			}
+		}
+	}
+}

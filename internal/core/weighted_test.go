@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWeighted attaches random (normalized) priors to an instance.
+func randomWeighted(rng *rand.Rand, inst *Instance) *WeightedInstance {
+	probs := make([][]float64, inst.N())
+	for i := range probs {
+		m := inst.M(i)
+		row := make([]float64, m)
+		sum := 0.0
+		for j := range row {
+			row[j] = rng.Float64() + 0.05
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+		probs[i] = row
+	}
+	wi, err := NewWeightedInstance(inst, probs)
+	if err != nil {
+		panic(err)
+	}
+	return wi
+}
+
+func TestWeightedQ2MatchesWeightedBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 40; trial++ {
+		numLabels := 2 + rng.Intn(2)
+		inst := randomInstance(rng, 3+rng.Intn(4), 3, numLabels)
+		wi := randomWeighted(rng, inst)
+		k := 1 + rng.Intn(3)
+		want, err := WeightedBruteForce(wi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WeightedQ2(wi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("trial %d (N=%d K=%d |Y|=%d): weighted Q2 off by %g: %v vs %v",
+				trial, inst.N(), k, numLabels, d, got, want)
+		}
+	}
+}
+
+func TestWeightedQ2UniformMatchesCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 30; trial++ {
+		inst := randomInstance(rng, 4+rng.Intn(5), 3, 2)
+		k := 1 + rng.Intn(3)
+		wi, err := NewWeightedInstance(inst, UniformWeights(inst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WeightedQ2(wi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		want := e.Counts(sc, -1, -1)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("trial %d: uniform weighted Q2 %v != normalized counts %v", trial, got, want)
+		}
+	}
+}
+
+func TestWeightedQ2DegeneratePriorIsPin(t *testing.T) {
+	// A row with all mass on one candidate behaves exactly like a pinned row.
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 5, 3, 2)
+		k := 1 + rng.Intn(2)
+		row := rng.Intn(inst.N())
+		cand := rng.Intn(inst.M(row))
+		probs := UniformWeights(inst)
+		for j := range probs[row] {
+			probs[row][j] = 0
+		}
+		probs[row][cand] = 1
+		wi, err := NewWeightedInstance(inst, probs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WeightedQ2(wi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		want := e.Counts(sc, row, cand)
+		if d := maxAbsDiff(got, want); d > 1e-9 {
+			t.Fatalf("trial %d: degenerate prior %v != pinned counts %v", trial, got, want)
+		}
+	}
+}
+
+func TestWeightedQ2SumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 4+rng.Intn(8), 4, 2+rng.Intn(2))
+		wi := randomWeighted(rng, inst)
+		k := 1 + rng.Intn(3)
+		got, err := WeightedQ2(wi, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range got {
+			sum += v
+		}
+		if sum < 1-1e-9 || sum > 1+1e-9 {
+			t.Fatalf("trial %d: weighted Q2 sums to %v", trial, sum)
+		}
+	}
+}
+
+func TestNewWeightedInstanceValidation(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1, 2}, {3}}, []int{0, 1}, 2)
+	if _, err := NewWeightedInstance(inst, [][]float64{{1}}); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	if _, err := NewWeightedInstance(inst, [][]float64{{0.5, 0.5}, {0.9}}); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	if _, err := NewWeightedInstance(inst, [][]float64{{1.5, -0.5}, {1}}); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, err := NewWeightedInstance(inst, [][]float64{{0.5, 0.5}, {1}}); err != nil {
+		t.Fatalf("valid priors rejected: %v", err)
+	}
+}
+
+func TestWeightedSampleRespectsPriors(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1, 2}}, []int{0}, 2)
+	wi, err := NewWeightedInstance(inst, [][]float64{{0.2, 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(55))
+	choice := make([]int, 1)
+	ones := 0
+	const n = 10000
+	for s := 0; s < n; s++ {
+		WeightedSample(wi, rng, choice)
+		ones += choice[0]
+	}
+	frac := float64(ones) / n
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("sampled candidate-1 fraction %v, want ≈0.8", frac)
+	}
+}

@@ -1,0 +1,144 @@
+// Package dataset implements the paper's incomplete-dataset model
+// (Definition 1): a finite set of examples whose feature vector is known
+// only up to a candidate set C_i, together with the induced possible-world
+// semantics (Definition 2).
+package dataset
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Example is one training example with incomplete information: the true
+// feature vector is one of Candidates (the paper's C_i); the label is known.
+type Example struct {
+	// Candidates holds the possible feature vectors x_{i,1..M_i}. A clean
+	// (certain) example has exactly one candidate.
+	Candidates [][]float64
+	// Label is the class label y_i in [0, NumLabels).
+	Label int
+}
+
+// M returns the candidate count |C_i|.
+func (e *Example) M() int { return len(e.Candidates) }
+
+// IsCertain reports whether the example has a single candidate.
+func (e *Example) IsCertain() bool { return len(e.Candidates) == 1 }
+
+// Incomplete is the paper's incomplete dataset D = {(C_i, y_i)}.
+type Incomplete struct {
+	Examples  []Example
+	NumLabels int
+}
+
+// New validates and constructs an incomplete dataset.
+func New(examples []Example, numLabels int) (*Incomplete, error) {
+	if numLabels < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 labels, got %d", numLabels)
+	}
+	var dim = -1
+	for i, e := range examples {
+		if len(e.Candidates) == 0 {
+			return nil, fmt.Errorf("dataset: example %d has an empty candidate set", i)
+		}
+		if e.Label < 0 || e.Label >= numLabels {
+			return nil, fmt.Errorf("dataset: example %d label %d out of range [0,%d)", i, e.Label, numLabels)
+		}
+		for j, c := range e.Candidates {
+			if dim == -1 {
+				dim = len(c)
+			}
+			if len(c) != dim {
+				return nil, fmt.Errorf("dataset: example %d candidate %d has dim %d, want %d", i, j, len(c), dim)
+			}
+		}
+	}
+	return &Incomplete{Examples: examples, NumLabels: numLabels}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(examples []Example, numLabels int) *Incomplete {
+	d, err := New(examples, numLabels)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FromComplete wraps a complete dataset (one candidate per example).
+func FromComplete(x [][]float64, y []int, numLabels int) (*Incomplete, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("dataset: %d vectors, %d labels", len(x), len(y))
+	}
+	ex := make([]Example, len(x))
+	for i := range x {
+		ex[i] = Example{Candidates: [][]float64{x[i]}, Label: y[i]}
+	}
+	return New(ex, numLabels)
+}
+
+// N returns the number of examples.
+func (d *Incomplete) N() int { return len(d.Examples) }
+
+// MaxM returns the largest candidate-set size.
+func (d *Incomplete) MaxM() int {
+	m := 0
+	for i := range d.Examples {
+		if mm := d.Examples[i].M(); mm > m {
+			m = mm
+		}
+	}
+	return m
+}
+
+// TotalCandidates returns Σ_i |C_i|.
+func (d *Incomplete) TotalCandidates() int {
+	s := 0
+	for i := range d.Examples {
+		s += d.Examples[i].M()
+	}
+	return s
+}
+
+// UncertainRows returns the indices of examples with more than one candidate.
+func (d *Incomplete) UncertainRows() []int {
+	var out []int
+	for i := range d.Examples {
+		if !d.Examples[i].IsCertain() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// WorldCount returns |I_D| = Π_i |C_i| as a big integer.
+func (d *Incomplete) WorldCount() *big.Int {
+	total := big.NewInt(1)
+	for i := range d.Examples {
+		total.Mul(total, big.NewInt(int64(d.Examples[i].M())))
+	}
+	return total
+}
+
+// Pin returns a copy of d with example row fixed to its cand-th candidate
+// (the effect of cleaning that row to a specific repair).
+func (d *Incomplete) Pin(row, cand int) *Incomplete {
+	ex := append([]Example(nil), d.Examples...)
+	ex[row] = Example{
+		Candidates: [][]float64{d.Examples[row].Candidates[cand]},
+		Label:      d.Examples[row].Label,
+	}
+	return &Incomplete{Examples: ex, NumLabels: d.NumLabels}
+}
+
+// World materializes the possible world selected by choice (choice[i] is the
+// candidate index for example i) as parallel feature/label slices.
+func (d *Incomplete) World(choice []int) ([][]float64, []int) {
+	x := make([][]float64, d.N())
+	y := make([]int, d.N())
+	for i := range d.Examples {
+		x[i] = d.Examples[i].Candidates[choice[i]]
+		y[i] = d.Examples[i].Label
+	}
+	return x, y
+}

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sampleIncomplete() *Incomplete {
+	return MustNew([]Example{
+		{Candidates: [][]float64{{0}, {1}}, Label: 0},
+		{Candidates: [][]float64{{2}}, Label: 1},
+		{Candidates: [][]float64{{3}, {4}, {5}}, Label: 0},
+	}, 2)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Example{{Candidates: nil, Label: 0}}, 2); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+	if _, err := New([]Example{{Candidates: [][]float64{{1}}, Label: 5}}, 2); err == nil {
+		t.Fatal("label out of range accepted")
+	}
+	if _, err := New([]Example{
+		{Candidates: [][]float64{{1}}, Label: 0},
+		{Candidates: [][]float64{{1, 2}}, Label: 1},
+	}, 2); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := New(nil, 1); err == nil {
+		t.Fatal("single-label dataset accepted")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	d := sampleIncomplete()
+	if d.N() != 3 || d.MaxM() != 3 || d.TotalCandidates() != 6 {
+		t.Fatalf("N=%d MaxM=%d total=%d", d.N(), d.MaxM(), d.TotalCandidates())
+	}
+	if got := d.UncertainRows(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("uncertain = %v", got)
+	}
+	if wc := d.WorldCount(); wc.Cmp(big.NewInt(6)) != 0 {
+		t.Fatalf("world count = %s", wc)
+	}
+}
+
+func TestFromComplete(t *testing.T) {
+	d, err := FromComplete([][]float64{{1}, {2}}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WorldCount().Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("complete dataset should have one world")
+	}
+	if _, err := FromComplete([][]float64{{1}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPin(t *testing.T) {
+	d := sampleIncomplete()
+	p := d.Pin(2, 1)
+	if p.Examples[2].M() != 1 || p.Examples[2].Candidates[0][0] != 4 {
+		t.Fatalf("pin wrong: %+v", p.Examples[2])
+	}
+	if d.Examples[2].M() != 3 {
+		t.Fatal("Pin mutated the source dataset")
+	}
+	if p.WorldCount().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("pinned world count = %s", p.WorldCount())
+	}
+}
+
+func TestWorld(t *testing.T) {
+	d := sampleIncomplete()
+	x, y := d.World([]int{1, 0, 2})
+	if x[0][0] != 1 || x[1][0] != 2 || x[2][0] != 5 {
+		t.Fatalf("world = %v", x)
+	}
+	if y[0] != 0 || y[1] != 1 || y[2] != 0 {
+		t.Fatalf("labels = %v", y)
+	}
+}
+
+func TestWorldIteratorEnumeratesAll(t *testing.T) {
+	d := sampleIncomplete()
+	seen := map[[3]int]bool{}
+	it := Worlds(d)
+	for {
+		var key [3]int
+		copy(key[:], it.Choice())
+		if seen[key] {
+			t.Fatalf("world %v repeated", key)
+		}
+		seen[key] = true
+		if !it.Next() {
+			break
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("enumerated %d worlds, want 6", len(seen))
+	}
+	if !it.Done() {
+		t.Fatal("iterator not done")
+	}
+	if it.Next() {
+		t.Fatal("Next after done returned true")
+	}
+}
+
+func TestEnumerateWorldsLimit(t *testing.T) {
+	d := sampleIncomplete()
+	if err := EnumerateWorlds(d, 5, func([]int) {}); err == nil {
+		t.Fatal("limit not enforced")
+	}
+	count := 0
+	if err := EnumerateWorlds(d, 10, func([]int) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Fatalf("visited %d worlds", count)
+	}
+}
+
+func TestSampleWorldInRange(t *testing.T) {
+	d := sampleIncomplete()
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		choice := SampleWorld(d, rng)
+		for i, c := range choice {
+			if c < 0 || c >= d.Examples[i].M() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldCountMatchesEnumeration(t *testing.T) {
+	f := func(m1, m2, m3 uint8) bool {
+		ms := []int{int(m1%3) + 1, int(m2%3) + 1, int(m3%3) + 1}
+		ex := make([]Example, len(ms))
+		for i, m := range ms {
+			cands := make([][]float64, m)
+			for j := range cands {
+				cands[j] = []float64{float64(i*10 + j)}
+			}
+			ex[i] = Example{Candidates: cands, Label: i % 2}
+		}
+		d := MustNew(ex, 2)
+		count := 0
+		if err := EnumerateWorlds(d, 1000, func([]int) { count++ }); err != nil {
+			return false
+		}
+		return d.WorldCount().Cmp(big.NewInt(int64(count))) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package dataset
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+)
+
+// WorldIterator enumerates every possible world of an incomplete dataset in
+// odometer order (candidate indices increment like digits, last row fastest).
+// Intended for brute-force verification on small datasets.
+type WorldIterator struct {
+	d      *Incomplete
+	choice []int
+	done   bool
+}
+
+// Worlds returns an iterator positioned on the first world.
+func Worlds(d *Incomplete) *WorldIterator {
+	return &WorldIterator{d: d, choice: make([]int, d.N())}
+}
+
+// Choice returns the current candidate-index vector. The slice is reused
+// between Next calls; copy it if you need to retain it.
+func (it *WorldIterator) Choice() []int { return it.choice }
+
+// Done reports whether enumeration has finished.
+func (it *WorldIterator) Done() bool { return it.done }
+
+// Next advances to the next world; it returns false when enumeration is
+// complete (the iterator is then Done and Choice is invalid).
+func (it *WorldIterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for i := it.d.N() - 1; i >= 0; i-- {
+		it.choice[i]++
+		if it.choice[i] < it.d.Examples[i].M() {
+			return true
+		}
+		it.choice[i] = 0
+	}
+	it.done = true
+	return false
+}
+
+// EnumerateWorlds calls fn with each possible world's candidate-choice
+// vector. It refuses to enumerate more than maxWorlds worlds (guarding
+// against accidental exponential blowups in tests).
+func EnumerateWorlds(d *Incomplete, maxWorlds int64, fn func(choice []int)) error {
+	total := d.WorldCount()
+	if total.Cmp(big.NewInt(maxWorlds)) > 0 {
+		return fmt.Errorf("dataset: %s possible worlds exceed limit %d", total.String(), maxWorlds)
+	}
+	it := Worlds(d)
+	for {
+		fn(it.Choice())
+		if !it.Next() {
+			return nil
+		}
+	}
+}
+
+// SampleWorld draws a uniformly random possible world's choice vector.
+func SampleWorld(d *Incomplete, rng *rand.Rand) []int {
+	choice := make([]int, d.N())
+	for i := range d.Examples {
+		choice[i] = rng.Intn(d.Examples[i].M())
+	}
+	return choice
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cleaning"
+)
+
+// TestDiagOracleCeiling reports corruption statistics and the accuracy
+// ceiling of cleaning every dirty row with the oracle candidate.
+func TestDiagOracleCeiling(t *testing.T) {
+	for _, name := range []string{"Supreme", "Bank", "Puma", "BabyProduct"} {
+		spec, _ := SpecByName(name)
+		task, err := BuildTask(spec, Small, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, _ := cleaning.GroundTruthAccuracy(task)
+		def, _ := cleaning.DefaultCleanAccuracy(task)
+		x, y := task.WorldX(task.OracleWorld())
+		oracleAcc, _ := task.AccuracyOnEncoded(x, y)
+		t.Logf("%s: GT=%.3f Default=%.3f OracleAll=%.3f gapPP=%.1f ceiling=%.0f%% dirtyRows=%d/%d cellRate=%.1f%% sumM=%d",
+			name, gt, def, oracleAcc, 100*(gt-def), 100*cleaning.GapClosed(oracleAcc, def, gt),
+			len(task.Repairs.DirtyRows), task.Dirty.NumRows(), 100*task.Dirty.MissingCellRate(),
+			task.Dataset().TotalCandidates())
+		for _, c := range task.Dirty.Cols {
+			if c.MissingCount() > 0 {
+				t.Logf("  col %-14s missing %3d/%d", c.Name, c.MissingCount(), c.Len())
+			}
+		}
+	}
+}

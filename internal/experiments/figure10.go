@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cleaning"
+)
+
+// Figure10Point is one (dataset, |Dval|) measurement (paper Figure 10:
+// gap closed and examples cleaned as the validation set grows).
+type Figure10Point struct {
+	Dataset     string
+	ValN        int
+	GapClosed   float64
+	CleanedFrac float64 // fraction of dirty examples cleaned to certify
+}
+
+// Figure10ValSizes returns the validation sizes swept at a scale: the
+// paper's {200, 600, 1000, 1400} scaled by ValN/1000.
+func Figure10ValSizes(scale Scale) []int {
+	base := scale.ValN
+	fracs := []float64{0.2, 0.6, 1.0, 1.4}
+	out := make([]int, len(fracs))
+	for i, f := range fracs {
+		v := int(f * float64(base))
+		if v < 5 {
+			v = 5
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// RunFigure10Dataset sweeps the validation size for one dataset.
+func RunFigure10Dataset(spec DatasetSpec, scale Scale, seed int64) ([]Figure10Point, error) {
+	var out []Figure10Point
+	for _, valN := range Figure10ValSizes(scale) {
+		task, err := BuildTask(spec, scale, seed, valN)
+		if err != nil {
+			return nil, err
+		}
+		gt, err := cleaning.GroundTruthAccuracy(task)
+		if err != nil {
+			return nil, err
+		}
+		def, err := cleaning.DefaultCleanAccuracy(task)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true})
+		if err != nil {
+			return nil, err
+		}
+		dirty := len(task.Repairs.DirtyRows)
+		cleaned := cp.AllCertainStep
+		if cleaned < 0 {
+			cleaned = len(cp.Order)
+		}
+		frac := 0.0
+		if dirty > 0 {
+			frac = float64(cleaned) / float64(dirty)
+		}
+		out = append(out, Figure10Point{
+			Dataset:     spec.Name,
+			ValN:        valN,
+			GapClosed:   cleaning.GapClosed(cp.FinalAccuracy, def, gt),
+			CleanedFrac: frac,
+		})
+	}
+	return out, nil
+}
+
+// RunFigure10 sweeps all datasets.
+func RunFigure10(scale Scale, seed int64) ([]Figure10Point, error) {
+	var out []Figure10Point
+	for _, spec := range Specs() {
+		pts, err := RunFigure10Dataset(spec, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure10 %s: %w", spec.Name, err)
+		}
+		out = append(out, pts...)
+	}
+	return out, nil
+}
+
+// Figure10Report renders the sweep.
+func Figure10Report(points []Figure10Point) *Table {
+	t := &Table{
+		Title:   "Figure 10: varying the validation-set size |Dval|",
+		Headers: []string{"Dataset", "|Dval|", "Gap Closed", "Examples Cleaned"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Dataset, fmt.Sprintf("%d", p.ValN), Pct(p.GapClosed), Pct(p.CleanedFrac))
+	}
+	return t
+}

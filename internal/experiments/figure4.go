@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Figure4Row is one runtime measurement of a CP-query algorithm (standing in
+// for the paper's Figure 4 complexity summary: SS in O(NM log NM) for K=1,
+// MM in O(NM) for Q1, SS-DC in O(NM(log NM + K² log N)) in general).
+type Figure4Row struct {
+	Algorithm string
+	Query     string // "Q1" or "Q2"
+	K         int
+	N, M      int
+	Elapsed   time.Duration
+	// PerCand is Elapsed / (N·M), the per-candidate cost; near-constant
+	// growth in N demonstrates the claimed quasi-linearity.
+	PerCand time.Duration
+}
+
+// scalingInstance builds a random instance of the given shape.
+func scalingInstance(rng *rand.Rand, n, m, numLabels int) *core.Instance {
+	sims := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range sims {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		sims[i] = row
+		labels[i] = rng.Intn(numLabels)
+	}
+	for l := 0; l < numLabels && l < n; l++ {
+		labels[l] = l
+	}
+	return core.MustNewInstance(sims, labels, numLabels)
+}
+
+// timeIt measures fn with enough repetitions for stable timings.
+func timeIt(fn func()) time.Duration {
+	reps := 1
+	for {
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el > 20*time.Millisecond || reps >= 1<<16 {
+			return el / time.Duration(reps)
+		}
+		reps *= 4
+	}
+}
+
+// RunFigure4 measures Q1/Q2 runtimes for each algorithm across N (fixed
+// M = 5, K = 3, |Y| = 2, matching the paper's experimental model), plus the
+// K = 1 fast path.
+func RunFigure4(sizes []int, seed int64) []Figure4Row {
+	if len(sizes) == 0 {
+		sizes = []int{100, 200, 400, 800}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const m = 5
+	var out []Figure4Row
+	add := func(alg, query string, k, n int, el time.Duration) {
+		out = append(out, Figure4Row{Algorithm: alg, Query: query, K: k, N: n, M: m,
+			Elapsed: el, PerCand: el / time.Duration(n*m)})
+	}
+	for _, n := range sizes {
+		inst := scalingInstance(rng, n, m, 2)
+
+		// Q2, K = 1: incremental SortScan (paper row 1: O(NM log NM)).
+		add("SS (K=1 scan)", "Q2", 1, n, timeIt(func() { core.SSFastCounts(inst) }))
+
+		// Q2, K = 3: SS-DC segment-tree scan (paper row 3).
+		e := core.NewEngineFromInstance(inst)
+		sc := e.MustScratch(3)
+		add("SS-DC", "Q2", 3, n, timeIt(func() { e.Counts(sc, -1, -1) }))
+
+		// Q2, K = 3: multi-class variant (appendix A.3).
+		add("SS-DC-MC", "Q2", 3, n, timeIt(func() { e.CountsMC(sc, -1, -1) }))
+
+		// Q1, K = 3: MM (paper row 2: O(NM)).
+		add("MM", "Q1", 3, n, timeIt(func() {
+			if _, err := e.CheckMM(3, -1, -1); err != nil {
+				panic(err)
+			}
+		}))
+
+		// Q1 via SS-DC for contrast (the ablation MM is compared against).
+		add("SS-DC (as Q1)", "Q1", 3, n, timeIt(func() {
+			core.CheckFromNormalized(e.Counts(sc, -1, -1))
+		}))
+	}
+	return out
+}
+
+// Figure4Report renders the scaling measurements.
+func Figure4Report(rows []Figure4Row) *Table {
+	t := &Table{
+		Title:   "Figure 4 (runtime form): CP-query algorithm scaling, M=5, |Y|=2",
+		Headers: []string{"Algorithm", "Query", "K", "N", "Elapsed", "Per candidate"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Algorithm, r.Query, fmt.Sprintf("%d", r.K), fmt.Sprintf("%d", r.N),
+			r.Elapsed.String(), r.PerCand.String())
+	}
+	return t
+}

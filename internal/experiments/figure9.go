@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cleaning"
+)
+
+// CurvePoint is one sampled point of a cleaning trajectory.
+type CurvePoint struct {
+	FracCleaned    float64
+	ValCertainFrac float64
+	GapClosed      float64
+}
+
+// Figure9Result holds one dataset's CPClean-vs-RandomClean curves
+// (paper Figure 9: % validation examples CP'ed and % gap closed vs
+// % examples cleaned).
+type Figure9Result struct {
+	Dataset string
+	CPClean []CurvePoint
+	Random  []CurvePoint // averaged over Scale.RandomRuns runs
+
+	GroundTruthAcc float64
+	DefaultAcc     float64
+	// CleanedToCertifyCP / Random: fraction of dirty examples cleaned until
+	// every validation example was CP'ed.
+	CleanedToCertifyCP     float64
+	CleanedToCertifyRandom float64
+}
+
+// RunFigure9Dataset produces both trajectories for one dataset.
+func RunFigure9Dataset(spec DatasetSpec, scale Scale, seed int64) (*Figure9Result, error) {
+	task, err := BuildTask(spec, scale, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure9Result{Dataset: spec.Name}
+	if res.GroundTruthAcc, err = cleaning.GroundTruthAccuracy(task); err != nil {
+		return nil, err
+	}
+	if res.DefaultAcc, err = cleaning.DefaultCleanAccuracy(task); err != nil {
+		return nil, err
+	}
+	gap := func(acc float64) float64 {
+		return cleaning.GapClosed(acc, res.DefaultAcc, res.GroundTruthAcc)
+	}
+	dirty := len(task.Repairs.DirtyRows)
+	if dirty == 0 {
+		return nil, fmt.Errorf("figure9 %s: no dirty rows", spec.Name)
+	}
+
+	cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true, EvalTestEachStep: true})
+	if err != nil {
+		return nil, err
+	}
+	res.CPClean = trajectory(cp, gap)
+	res.CleanedToCertifyCP = certifyFrac(cp, dirty)
+
+	// RandomClean: average ValCertainFrac and gap over aligned step indices.
+	runs := scale.RandomRuns
+	if runs <= 0 {
+		runs = 5
+	}
+	sums := make([]CurvePoint, dirty+1)
+	counts := make([]int, dirty+1)
+	certifySum := 0.0
+	for r := 0; r < runs; r++ {
+		rc, err := cleaning.RandomClean(task, cleaning.Options{
+			EvalTestEachStep: true,
+			Rand:             rand.New(rand.NewSource(seed + int64(r)*7919)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		traj := trajectory(rc, gap)
+		for si, p := range traj {
+			if si > dirty {
+				break
+			}
+			sums[si].FracCleaned += p.FracCleaned
+			sums[si].ValCertainFrac += p.ValCertainFrac
+			sums[si].GapClosed += p.GapClosed
+			counts[si]++
+		}
+		// Runs that certify early keep their final state for later steps, so
+		// averages stay comparable across runs of different lengths.
+		last := traj[len(traj)-1]
+		for si := len(traj); si <= dirty; si++ {
+			sums[si].FracCleaned += float64(si) / float64(dirty)
+			sums[si].ValCertainFrac += last.ValCertainFrac
+			sums[si].GapClosed += last.GapClosed
+			counts[si]++
+		}
+		certifySum += certifyFrac(rc, dirty)
+	}
+	for si := range sums {
+		if counts[si] == 0 {
+			continue
+		}
+		res.Random = append(res.Random, CurvePoint{
+			FracCleaned:    sums[si].FracCleaned / float64(counts[si]),
+			ValCertainFrac: sums[si].ValCertainFrac / float64(counts[si]),
+			GapClosed:      sums[si].GapClosed / float64(counts[si]),
+		})
+	}
+	res.CleanedToCertifyRandom = certifySum / float64(runs)
+	return res, nil
+}
+
+// trajectory converts a cleaning result into curve points.
+func trajectory(res *cleaning.Result, gap func(float64) float64) []CurvePoint {
+	out := make([]CurvePoint, 0, len(res.Steps))
+	for _, s := range res.Steps {
+		out = append(out, CurvePoint{
+			FracCleaned:    s.FracCleaned,
+			ValCertainFrac: s.ValCertainFrac,
+			GapClosed:      gap(s.TestAccuracy),
+		})
+	}
+	return out
+}
+
+// certifyFrac returns the fraction of dirty rows cleaned when everything
+// became CP'ed (1 if the run ended without certifying).
+func certifyFrac(res *cleaning.Result, dirty int) float64 {
+	if res.AllCertainStep < 0 {
+		return 1
+	}
+	return float64(res.AllCertainStep) / float64(dirty)
+}
+
+// RunFigure9 produces curves for all datasets.
+func RunFigure9(scale Scale, seed int64) ([]*Figure9Result, error) {
+	var out []*Figure9Result
+	for _, spec := range Specs() {
+		r, err := RunFigure9Dataset(spec, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("figure9 %s: %w", spec.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Figure9Report renders one dataset's curves sampled at ~10% increments.
+func Figure9Report(r *Figure9Result) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 9 (%s): cleaning curves — CPClean vs RandomClean", r.Dataset),
+		Headers: []string{"Cleaned", "CP'ed (CPClean)", "Gap (CPClean)",
+			"CP'ed (Random)", "Gap (Random)"},
+	}
+	n := len(r.CPClean)
+	m := len(r.Random)
+	steps := 10
+	for s := 0; s <= steps; s++ {
+		ci := s * (n - 1) / steps
+		ri := s * (m - 1) / steps
+		t.AddRow(
+			Pct(r.CPClean[ci].FracCleaned),
+			Pct(r.CPClean[ci].ValCertainFrac), Pct(r.CPClean[ci].GapClosed),
+			Pct(r.Random[ri].ValCertainFrac), Pct(r.Random[ri].GapClosed),
+		)
+	}
+	t.AddRow("", "", "", "", "")
+	t.AddRow("certify@", Pct(r.CleanedToCertifyCP), "", Pct(r.CleanedToCertifyRandom), "")
+	return t
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple aligned text table used by all experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table with column alignment.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// RenderCSV writes the table as CSV (title omitted).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSVLine(w, t.Headers)
+	for _, row := range t.Rows {
+		writeCSVLine(w, row)
+	}
+}
+
+func writeCSVLine(w io.Writer, cells []string) {
+	quoted := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+		}
+		quoted[i] = c
+	}
+	fmt.Fprintf(w, "%s\n", strings.Join(quoted, ","))
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Pct formats a ratio as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// Pct1 formats a ratio as a percentage with one decimal.
+func Pct1(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// F3 formats a float with three decimals.
+func F3(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,64 @@
+package experiments
+
+import "fmt"
+
+// Table1Row holds one dataset's characteristics as generated at the given
+// scale (paper Table 1).
+type Table1Row struct {
+	Dataset        string
+	ErrorType      string
+	Examples       int
+	Features       int
+	MissingRowRate float64
+	MissingCell    float64
+	DirtyRows      int
+	Candidates     int // total candidates Σ|C_i| in the induced incomplete dataset
+	PaperExamples  int
+	PaperMissing   string
+}
+
+// RunTable1 generates each dataset at the scale and measures its
+// characteristics.
+func RunTable1(scale Scale, seed int64) ([]Table1Row, error) {
+	var out []Table1Row
+	for _, spec := range Specs() {
+		task, err := BuildTask(spec, scale, seed, 0)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		out = append(out, Table1Row{
+			Dataset:        spec.Name,
+			ErrorType:      spec.ErrorType,
+			Examples:       task.Dirty.NumRows(),
+			Features:       task.Dirty.NumCols(),
+			MissingRowRate: task.Dirty.MissingRowRate(),
+			MissingCell:    task.Dirty.MissingCellRate(),
+			DirtyRows:      len(task.Repairs.DirtyRows),
+			Candidates:     task.Dataset().TotalCandidates(),
+			PaperExamples:  spec.NativeRows,
+			PaperMissing:   spec.MissingRate,
+		})
+	}
+	return out, nil
+}
+
+// Table1Report renders the rows.
+func Table1Report(rows []Table1Row) *Table {
+	t := &Table{
+		Title: "Table 1: Dataset characteristics (paper values in parentheses)",
+		Headers: []string{"Dataset", "Error Type", "#Examples", "#Features",
+			"Missing rows", "Missing cells", "Dirty rows", "Σ|Ci|"},
+	}
+	for _, r := range rows {
+		t.AddRow(
+			r.Dataset, r.ErrorType,
+			fmt.Sprintf("%d (%d)", r.Examples, r.PaperExamples),
+			fmt.Sprintf("%d", r.Features),
+			fmt.Sprintf("%s (%s)", Pct1(r.MissingRowRate), r.PaperMissing),
+			Pct1(r.MissingCell),
+			fmt.Sprintf("%d", r.DirtyRows),
+			fmt.Sprintf("%d", r.Candidates),
+		)
+	}
+	return t
+}

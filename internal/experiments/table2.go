@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cleaning"
+)
+
+// Table2Row holds one dataset's end-to-end comparison (paper Table 2).
+type Table2Row struct {
+	Dataset string
+
+	GroundTruthAcc float64
+	DefaultAcc     float64
+
+	BoostCleanGap float64
+	HoloCleanGap  float64
+
+	// CPClean at convergence (all validation examples CP'ed).
+	CPCleanGap     float64
+	CPCleanCleaned float64 // fraction of dirty examples cleaned
+	// CPClean stopped at a 20% budget of the dirty examples.
+	CPCleanGapAt20 float64
+
+	// Extra diagnostics.
+	DirtyRows   int
+	CPCleanStep int // examples cleaned at convergence (-1 if not reached)
+}
+
+// RunTable2Dataset runs every method on one dataset, averaging over
+// scale.Table2Seeds seeded repetitions (gap-closed ratios are computed from
+// the averaged accuracies, so a noisy single-seed denominator cannot blow
+// them up).
+func RunTable2Dataset(spec DatasetSpec, scale Scale, seed int64) (*Table2Row, error) {
+	seeds := scale.Table2Seeds
+	if seeds <= 0 {
+		seeds = 1
+	}
+	agg := &table2Acc{}
+	for s := 0; s < seeds; s++ {
+		r, err := runTable2Once(spec, scale, seed+int64(s)*10007)
+		if err != nil {
+			return nil, err
+		}
+		agg.add(r)
+	}
+	return agg.mean(spec.Name, seeds), nil
+}
+
+// table2Acc accumulates raw accuracies across seeds.
+type table2Acc struct {
+	gt, def, boost, holo, cp, cpAt20 float64
+	cleaned                          float64
+	dirty                            int
+	certified                        int
+}
+
+func (a *table2Acc) add(r *table2Raw) {
+	a.gt += r.gt
+	a.def += r.def
+	a.boost += r.boost
+	a.holo += r.holo
+	a.cp += r.cp
+	a.cpAt20 += r.cpAt20
+	a.cleaned += r.cleanedFrac
+	a.dirty += r.dirty
+	if r.certified {
+		a.certified++
+	}
+}
+
+func (a *table2Acc) mean(name string, n int) *Table2Row {
+	f := 1 / float64(n)
+	gt, def := a.gt*f, a.def*f
+	gap := func(acc float64) float64 { return cleaning.GapClosed(acc, def, gt) }
+	row := &Table2Row{
+		Dataset:        name,
+		GroundTruthAcc: gt,
+		DefaultAcc:     def,
+		BoostCleanGap:  gap(a.boost * f),
+		HoloCleanGap:   gap(a.holo * f),
+		CPCleanGap:     gap(a.cp * f),
+		CPCleanGapAt20: gap(a.cpAt20 * f),
+		CPCleanCleaned: a.cleaned * f,
+		DirtyRows:      a.dirty / n,
+	}
+	if a.certified == n {
+		row.CPCleanStep = int(a.cleaned * f * float64(row.DirtyRows))
+	} else {
+		row.CPCleanStep = -1
+	}
+	return row
+}
+
+// table2Raw holds one seed's raw accuracies.
+type table2Raw struct {
+	gt, def, boost, holo, cp, cpAt20 float64
+	cleanedFrac                      float64
+	dirty                            int
+	certified                        bool
+}
+
+// runTable2Once runs every method on one generated task.
+func runTable2Once(spec DatasetSpec, scale Scale, seed int64) (*table2Raw, error) {
+	task, err := BuildTask(spec, scale, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	raw := &table2Raw{dirty: len(task.Repairs.DirtyRows)}
+
+	if raw.gt, err = cleaning.GroundTruthAccuracy(task); err != nil {
+		return nil, err
+	}
+	if raw.def, err = cleaning.DefaultCleanAccuracy(task); err != nil {
+		return nil, err
+	}
+	bc, err := cleaning.BoostClean(task, 1)
+	if err != nil {
+		return nil, err
+	}
+	raw.boost = bc.Accuracy
+
+	hc, err := cleaning.HoloCleanStyle(task, 10)
+	if err != nil {
+		return nil, err
+	}
+	raw.holo = hc.Accuracy
+
+	cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true, EvalTestEachStep: true})
+	if err != nil {
+		return nil, err
+	}
+	raw.cp = cp.FinalAccuracy
+	raw.certified = cp.AllCertainStep >= 0
+	if raw.dirty > 0 {
+		cleaned := cp.AllCertainStep
+		if cleaned < 0 {
+			cleaned = len(cp.Order)
+		}
+		raw.cleanedFrac = float64(cleaned) / float64(raw.dirty)
+	}
+	// Accuracy at the 20% budget mark, read off the trajectory.
+	budget := raw.dirty / 5
+	raw.cpAt20 = raw.def
+	for _, s := range cp.Steps {
+		if s.Step > budget {
+			break
+		}
+		if s.TestAccuracy != 0 {
+			raw.cpAt20 = s.TestAccuracy
+		}
+	}
+	return raw, nil
+}
+
+// RunTable2 runs the comparison over all datasets.
+func RunTable2(scale Scale, seed int64) ([]*Table2Row, error) {
+	var out []*Table2Row
+	for _, spec := range Specs() {
+		row, err := RunTable2Dataset(spec, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("table2 %s: %w", spec.Name, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Table2Report renders the rows in the paper's layout.
+func Table2Report(rows []*Table2Row) *Table {
+	t := &Table{
+		Title: "Table 2: End-to-end performance comparison",
+		Headers: []string{"Dataset", "GT Acc", "Default Acc", "Boost Gap", "Holo Gap",
+			"CP Gap", "CP Cleaned", "CP Gap@20%"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Dataset, F3(r.GroundTruthAcc), F3(r.DefaultAcc),
+			Pct(r.BoostCleanGap), Pct(r.HoloCleanGap),
+			Pct(r.CPCleanGap), Pct(r.CPCleanCleaned), Pct(r.CPCleanGapAt20))
+	}
+	return t
+}

@@ -1,0 +1,149 @@
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Neighbor is one scored training example.
+type Neighbor struct {
+	Index int     // training-row index
+	Sim   float64 // similarity to the query point
+}
+
+// Less orders neighbors by the package-wide strict total order: higher
+// similarity first, ties broken toward the smaller index (the paper assumes
+// no ties; this tie-break makes every algorithm deterministic and mutually
+// consistent).
+func (n Neighbor) MoreSimilarThan(o Neighbor) bool {
+	if n.Sim != o.Sim {
+		return n.Sim > o.Sim
+	}
+	return n.Index < o.Index
+}
+
+// minHeap keeps the K most-similar neighbors seen so far; the root is the
+// least similar of the kept set.
+type minHeap []Neighbor
+
+func (h minHeap) Len() int            { return len(h) }
+func (h minHeap) Less(i, j int) bool  { return h[j].MoreSimilarThan(h[i]) }
+func (h minHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *minHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TopK returns the indices of the K most similar neighbors under the strict
+// total order, in no particular order. If fewer than K neighbors exist, all
+// are returned. Runs in O(N log K).
+func TopK(sims []float64, k int) []int {
+	h := make(minHeap, 0, k)
+	for i, s := range sims {
+		nb := Neighbor{Index: i, Sim: s}
+		if len(h) < k {
+			heap.Push(&h, nb)
+		} else if nb.MoreSimilarThan(h[0]) {
+			h[0] = nb
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int, len(h))
+	for i, nb := range h {
+		out[i] = nb.Index
+	}
+	return out
+}
+
+// Vote returns the majority label among the given labels; ties go to the
+// smallest label index. numLabels bounds the label alphabet.
+func Vote(labels []int, numLabels int) int {
+	counts := make([]int, numLabels)
+	for _, y := range labels {
+		counts[y]++
+	}
+	return ArgmaxTally(counts)
+}
+
+// ArgmaxTally returns the winning label of a tally vector under the
+// smallest-label tie-break.
+func ArgmaxTally(tally []int) int {
+	best, bestCount := 0, -1
+	for l, c := range tally {
+		if c > bestCount {
+			best, bestCount = l, c
+		}
+	}
+	return best
+}
+
+// Classifier is a K-NN classifier over a fixed, complete training set.
+type Classifier struct {
+	K      int
+	Kernel Kernel
+	// X are the training feature vectors; Y the labels in [0, NumLabels).
+	X         [][]float64
+	Y         []int
+	NumLabels int
+}
+
+// NewClassifier validates and constructs a classifier.
+func NewClassifier(k int, kernel Kernel, x [][]float64, y []int, numLabels int) (*Classifier, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: K must be positive, got %d", k)
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("knn: %d feature vectors but %d labels", len(x), len(y))
+	}
+	if len(x) < k {
+		return nil, fmt.Errorf("knn: K=%d exceeds training size %d", k, len(x))
+	}
+	for i, yy := range y {
+		if yy < 0 || yy >= numLabels {
+			return nil, fmt.Errorf("knn: label %d at row %d out of range [0,%d)", yy, i, numLabels)
+		}
+	}
+	return &Classifier{K: k, Kernel: kernel, X: x, Y: y, NumLabels: numLabels}, nil
+}
+
+// Predict classifies one query point.
+func (c *Classifier) Predict(q []float64) int {
+	sims := make([]float64, len(c.X))
+	for i, xi := range c.X {
+		sims[i] = c.Kernel.Similarity(xi, q)
+	}
+	top := TopK(sims, c.K)
+	labels := make([]int, len(top))
+	for i, idx := range top {
+		labels[i] = c.Y[idx]
+	}
+	return Vote(labels, c.NumLabels)
+}
+
+// PredictAll classifies a batch of query points.
+func (c *Classifier) PredictAll(qs [][]float64) []int {
+	out := make([]int, len(qs))
+	for i, q := range qs {
+		out[i] = c.Predict(q)
+	}
+	return out
+}
+
+// Accuracy returns the fraction of query points whose prediction matches the
+// given labels.
+func (c *Classifier) Accuracy(qs [][]float64, y []int) float64 {
+	if len(qs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, q := range qs {
+		if c.Predict(q) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(qs))
+}

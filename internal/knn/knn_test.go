@@ -1,0 +1,183 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelsBasics(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	if s := (NegEuclidean{}).Similarity(a, b); s != -5 {
+		t.Fatalf("neg euclidean = %v", s)
+	}
+	if s := (NegSquaredEuclidean{}).Similarity(a, b); s != -25 {
+		t.Fatalf("neg sq euclidean = %v", s)
+	}
+	if s := (NegManhattan{}).Similarity(a, b); s != -7 {
+		t.Fatalf("neg manhattan = %v", s)
+	}
+	if s := (Linear{}).Similarity([]float64{1, 2}, []float64{3, 4}); s != 11 {
+		t.Fatalf("linear = %v", s)
+	}
+	if s := (RBF{Gamma: 1}).Similarity(a, a); s != 1 {
+		t.Fatalf("rbf self = %v", s)
+	}
+	if s := (Cosine{}).Similarity([]float64{1, 0}, []float64{2, 0}); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("cosine parallel = %v", s)
+	}
+	if s := (Cosine{}).Similarity([]float64{0, 0}, []float64{1, 0}); s != 0 {
+		t.Fatalf("cosine zero = %v", s)
+	}
+}
+
+func TestKernelSymmetryProperty(t *testing.T) {
+	kernels := []Kernel{NegEuclidean{}, NegSquaredEuclidean{}, NegManhattan{}, Linear{}, RBF{Gamma: 0.5}, Cosine{}}
+	f := func(ax, ay, bx, by float64) bool {
+		if anyBad(ax, ay, bx, by) {
+			return true
+		}
+		a, b := []float64{ax, ay}, []float64{bx, by}
+		for _, k := range kernels {
+			sa, sb := k.Similarity(a, b), k.Similarity(b, a)
+			if sa != sb && !(math.IsNaN(sa) && math.IsNaN(sb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTopKAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(30)
+		k := 1 + rng.Intn(n)
+		sims := make([]float64, n)
+		for i := range sims {
+			sims[i] = float64(rng.Intn(5)) // deliberate ties
+		}
+		got := TopK(sims, k)
+		// Reference: full sort under the total order.
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			na := Neighbor{Index: idx[a], Sim: sims[idx[a]]}
+			nb := Neighbor{Index: idx[b], Sim: sims[idx[b]]}
+			return na.MoreSimilarThan(nb)
+		})
+		want := idx[:k]
+		sort.Ints(got)
+		wantSorted := append([]int(nil), want...)
+		sort.Ints(wantSorted)
+		for i := range wantSorted {
+			if got[i] != wantSorted[i] {
+				t.Fatalf("trial %d: TopK=%v want %v (sims=%v k=%d)", trial, got, wantSorted, sims, k)
+			}
+		}
+	}
+}
+
+func TestVoteTieBreak(t *testing.T) {
+	if v := Vote([]int{1, 0, 1, 0}, 2); v != 0 {
+		t.Fatalf("tie should go to label 0, got %d", v)
+	}
+	if v := Vote([]int{2, 2, 1}, 3); v != 2 {
+		t.Fatalf("majority = %d", v)
+	}
+	if v := ArgmaxTally([]int{0, 3, 3}); v != 1 {
+		t.Fatalf("tally tie-break = %d", v)
+	}
+}
+
+func TestClassifierValidation(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	if _, err := NewClassifier(0, NegEuclidean{}, x, []int{0, 1}, 2); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewClassifier(3, NegEuclidean{}, x, []int{0, 1}, 2); err == nil {
+		t.Fatal("K>N accepted")
+	}
+	if _, err := NewClassifier(1, NegEuclidean{}, x, []int{0}, 2); err == nil {
+		t.Fatal("len mismatch accepted")
+	}
+	if _, err := NewClassifier(1, NegEuclidean{}, x, []int{0, 5}, 2); err == nil {
+		t.Fatal("label out of range accepted")
+	}
+}
+
+func TestClassifierPredict(t *testing.T) {
+	// Two clusters on a line.
+	x := [][]float64{{0}, {0.1}, {0.2}, {1}, {1.1}, {1.2}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	clf, err := NewClassifier(3, NegEuclidean{}, x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := clf.Predict([]float64{0.05}); p != 0 {
+		t.Fatalf("predict left cluster = %d", p)
+	}
+	if p := clf.Predict([]float64{1.05}); p != 1 {
+		t.Fatalf("predict right cluster = %d", p)
+	}
+	acc := clf.Accuracy([][]float64{{0}, {1.2}}, []int{0, 1})
+	if acc != 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestClassifierK1IsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([][]float64, 20)
+	y := make([]int, 20)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = rng.Intn(2)
+	}
+	clf, err := NewClassifier(1, NegEuclidean{}, x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		best, bestD := -1, math.Inf(1)
+		for i := range x {
+			d := math.Hypot(x[i][0]-q[0], x[i][1]-q[1])
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if p := clf.Predict(q); p != y[best] {
+			t.Fatalf("1-NN prediction %d != nearest label %d", p, y[best])
+		}
+	}
+}
+
+func TestPredictAll(t *testing.T) {
+	x := [][]float64{{0}, {1}}
+	clf, err := NewClassifier(1, NegEuclidean{}, x, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clf.PredictAll([][]float64{{-1}, {2}})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("predict all = %v", got)
+	}
+}

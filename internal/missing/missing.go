@@ -1,0 +1,449 @@
+// Package missing injects missing values into complete tables under the
+// standard missingness mechanisms (MCAR / MAR / MNAR) and measures feature
+// importance — the paper's injection protocol (§5.1): "we first assess the
+// relative importance of each feature in a classification task (by measuring
+// the accuracy loss after removing a feature), and use the relative feature
+// importance as the relative probability of a feature missing."
+package missing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/knn"
+	"repro/internal/table"
+)
+
+// Mechanism identifies a missingness model.
+type Mechanism int
+
+const (
+	// MCAR — missing completely at random: every cell is dropped with equal
+	// probability.
+	MCAR Mechanism = iota
+	// MAR — missing at random: the drop probability of a cell depends on an
+	// observed covariate (we use the row's label).
+	MAR
+	// MNAR — missing not at random: the drop probability of a column is
+	// proportional to its importance (the paper's protocol).
+	MNAR
+)
+
+// String names the mechanism.
+func (m Mechanism) String() string {
+	switch m {
+	case MCAR:
+		return "MCAR"
+	case MAR:
+		return "MAR"
+	case MNAR:
+		return "MNAR"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// InjectMCAR drops each cell independently with probability rate.
+func InjectMCAR(t *table.Table, rate float64, rng *rand.Rand) {
+	for _, c := range t.Cols {
+		for i := 0; i < c.Len(); i++ {
+			if rng.Float64() < rate {
+				c.Missing[i] = true
+			}
+		}
+	}
+}
+
+// InjectMAR drops cells with probability depending on the row label:
+// rows of label 1 lose cells at twice the base rate of label 0 (scaled so the
+// overall expected rate matches `rate`).
+func InjectMAR(t *table.Table, rate float64, rng *rand.Rand) {
+	n := t.NumRows()
+	if n == 0 {
+		return
+	}
+	n1 := 0
+	for _, y := range t.Labels {
+		if y != 0 {
+			n1++
+		}
+	}
+	// p0·n0 + 2·p0·n1 = rate·n
+	p0 := rate * float64(n) / (float64(n-n1) + 2*float64(n1))
+	for _, c := range t.Cols {
+		for i := 0; i < c.Len(); i++ {
+			p := p0
+			if t.Labels[i] != 0 {
+				p = 2 * p0
+			}
+			if rng.Float64() < p {
+				c.Missing[i] = true
+			}
+		}
+	}
+}
+
+// InjectMNAR drops cells of column f with probability proportional to
+// weights[f], scaled so the expected overall cell-missing rate is `rate`.
+// Weights are typically feature importances (see FeatureImportance).
+func InjectMNAR(t *table.Table, rate float64, weights []float64, rng *rand.Rand) error {
+	if len(weights) != t.NumCols() {
+		return fmt.Errorf("missing: %d weights for %d columns", len(weights), t.NumCols())
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		total += w
+	}
+	if total == 0 {
+		InjectMCAR(t, rate, rng)
+		return nil
+	}
+	// Per-column probability p_f = rate·|cols|·w_f/Σw, capped at 0.95.
+	for ci, c := range t.Cols {
+		w := weights[ci]
+		if w < 0 {
+			w = 0
+		}
+		p := rate * float64(t.NumCols()) * w / total
+		if p > 0.95 {
+			p = 0.95
+		}
+		for i := 0; i < c.Len(); i++ {
+			if rng.Float64() < p {
+				c.Missing[i] = true
+			}
+		}
+	}
+	return nil
+}
+
+// InjectMNARBiased is the cell-level MNAR injector used by the experiments:
+// the number of missing cells per column is proportional to the column's
+// importance weight (overall cell rate = rate), and *which* cells go missing
+// is value-dependent — numeric cells with extreme values (both tails,
+// weight e^(bias·|z|)) and rare categories are preferentially dropped, the
+// paper's §5.1 MNAR story ("the probability of missing may be higher for
+// more sensitive/important attributes. For example, high income people are
+// more likely to not report their income"). Two-sided tails keep any single
+// global imputation rule (mean, max, ...) from undoing the damage, which is
+// what separates per-tuple cleaners from BoostClean-style selection.
+func InjectMNARBiased(t *table.Table, rate, bias float64, weights []float64, rng *rand.Rand) error {
+	if len(weights) != t.NumCols() {
+		return fmt.Errorf("missing: %d weights for %d columns", len(weights), t.NumCols())
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		InjectMCAR(t, rate, rng)
+		return nil
+	}
+	n := t.NumRows()
+	budget := rate * float64(n*t.NumCols())
+	for ci, c := range t.Cols {
+		w := weights[ci]
+		if w <= 0 {
+			continue
+		}
+		count := int(budget*w/total + 0.5)
+		if count > n*95/100 {
+			count = n * 95 / 100
+		}
+		cellW := absTailWeights(c, bias)
+		taken := make([]bool, n)
+		for k := 0; k < count; k++ {
+			row := sampleRowByTail(cellW, taken, rng)
+			if row < 0 {
+				break
+			}
+			taken[row] = true
+			c.Missing[row] = true
+		}
+	}
+	return nil
+}
+
+// absTailWeights returns per-cell sampling weights: e^(bias·|z|) for numeric
+// columns (both tails), inverse category frequency for categorical columns.
+func absTailWeights(c *table.Column, bias float64) []float64 {
+	w := make([]float64, c.Len())
+	if c.Kind == table.Numeric {
+		st := c.Stats()
+		std := st.Std
+		if std <= 0 {
+			std = 1
+		}
+		for i, v := range c.Nums {
+			z := math.Abs(v-st.Mean) / std
+			if z > 4 {
+				z = 4
+			}
+			w[i] = math.Exp(bias * z)
+		}
+		return w
+	}
+	freq := map[string]int{}
+	for i, v := range c.Cats {
+		if !c.Missing[i] {
+			freq[v]++
+		}
+	}
+	for i, v := range c.Cats {
+		f := freq[v]
+		if f == 0 {
+			f = 1
+		}
+		w[i] = 1 / float64(f)
+	}
+	return w
+}
+
+// InjectMNARRows injects missing values at the *row* level under the
+// paper's MNAR story (§5.1): rowRate of the rows become dirty; the column of
+// each missing cell is drawn with probability proportional to weights
+// (feature importance), and the *rows* are drawn value-dependently — cells
+// with extreme numeric values or rare categories are preferentially dropped
+// ("high income people are more likely to not report their income"). This is
+// what makes mean/mode imputation systematically biased and gives cleaning
+// room to matter. Each dirty row gains extra missing cells with probability
+// extraProb per additional cell.
+func InjectMNARRows(t *table.Table, rowRate, extraProb float64, weights []float64, rng *rand.Rand) error {
+	if len(weights) != t.NumCols() {
+		return fmt.Errorf("missing: %d weights for %d columns", len(weights), t.NumCols())
+	}
+	n := t.NumRows()
+	dirtyN := int(rowRate*float64(n) + 0.5)
+	tail := tailWeights(t)
+	isDirty := make([]bool, n)
+	for d := 0; d < dirtyN; d++ {
+		cols := sampleColumns(weights, 1, rng)
+		if len(cols) == 0 {
+			break
+		}
+		ci := cols[0]
+		row := sampleRowByTail(tail[ci], isDirty, rng)
+		if row < 0 {
+			break
+		}
+		isDirty[row] = true
+		t.Cols[ci].Missing[row] = true
+		// Extra missing cells in the same record, importance-weighted.
+		w := append([]float64(nil), weights...)
+		w[ci] = 0
+		for len(missingColsOf(t, row)) < t.NumCols() && rng.Float64() < extraProb {
+			extra := sampleColumns(w, 1, rng)
+			if len(extra) == 0 {
+				break
+			}
+			t.Cols[extra[0]].Missing[row] = true
+			w[extra[0]] = 0
+		}
+	}
+	return nil
+}
+
+// tailWeights precomputes, per column, a sampling weight for each row:
+// numeric cells get exp(1.5·z) (upper-tail bias), categorical cells get the
+// inverse frequency of their category (rare values go missing).
+func tailWeights(t *table.Table) [][]float64 {
+	out := make([][]float64, t.NumCols())
+	for ci, c := range t.Cols {
+		w := make([]float64, c.Len())
+		if c.Kind == table.Numeric {
+			st := c.Stats()
+			std := st.Std
+			if std <= 0 {
+				std = 1
+			}
+			for i, v := range c.Nums {
+				z := (v - st.Mean) / std
+				if z > 4 {
+					z = 4
+				}
+				w[i] = math.Exp(0.8 * z)
+			}
+		} else {
+			freq := map[string]int{}
+			for i, v := range c.Cats {
+				if !c.Missing[i] {
+					freq[v]++
+				}
+			}
+			for i, v := range c.Cats {
+				f := freq[v]
+				if f == 0 {
+					f = 1
+				}
+				w[i] = 1 / float64(f)
+			}
+		}
+		out[ci] = w
+	}
+	return out
+}
+
+// sampleRowByTail draws a not-yet-dirty row with probability proportional to
+// the tail weights; -1 when every row is dirty.
+func sampleRowByTail(w []float64, isDirty []bool, rng *rand.Rand) int {
+	total := 0.0
+	for i, v := range w {
+		if !isDirty[i] {
+			total += v
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for i, v := range w {
+		if isDirty[i] {
+			continue
+		}
+		acc += v
+		if r < acc {
+			return i
+		}
+	}
+	return -1
+}
+
+// missingColsOf lists row i's missing columns.
+func missingColsOf(t *table.Table, i int) []int {
+	var out []int
+	for ci, c := range t.Cols {
+		if c.Missing[i] {
+			out = append(out, ci)
+		}
+	}
+	return out
+}
+
+// sampleColumns draws k distinct column indices with probability
+// proportional to weights.
+func sampleColumns(weights []float64, k int, rng *rand.Rand) []int {
+	w := append([]float64(nil), weights...)
+	var out []int
+	for len(out) < k {
+		total := 0.0
+		for _, v := range w {
+			if v > 0 {
+				total += v
+			}
+		}
+		if total == 0 {
+			// Remaining weights exhausted: fill with unused columns.
+			for ci := range w {
+				if len(out) >= k {
+					break
+				}
+				if !contains(out, ci) {
+					out = append(out, ci)
+				}
+			}
+			break
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		for ci, v := range w {
+			if v <= 0 {
+				continue
+			}
+			acc += v
+			if r < acc {
+				out = append(out, ci)
+				w[ci] = 0
+				break
+			}
+		}
+	}
+	return out
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FeatureImportance estimates the importance of each column as the K-NN
+// accuracy loss on a held-out probe set when the column is removed
+// (leave-one-feature-out). Negative losses are clamped to zero. The table
+// must be complete (no missing cells).
+func FeatureImportance(t *table.Table, k int, kernel knn.Kernel, rng *rand.Rand, probeN int) ([]float64, error) {
+	if t.MissingCellRate() > 0 {
+		return nil, fmt.Errorf("missing: FeatureImportance requires a complete table")
+	}
+	if probeN <= 0 || probeN >= t.NumRows()/2 {
+		probeN = t.NumRows() / 4
+	}
+	split, err := t.SplitRandom(rng, probeN, 0)
+	if err != nil {
+		return nil, err
+	}
+	base, err := knnAccuracy(split.Train, split.Val, k, kernel, -1)
+	if err != nil {
+		return nil, err
+	}
+	imp := make([]float64, t.NumCols())
+	for f := range imp {
+		acc, err := knnAccuracy(split.Train, split.Val, k, kernel, f)
+		if err != nil {
+			return nil, err
+		}
+		loss := base - acc
+		if loss < 0 {
+			loss = 0
+		}
+		imp[f] = loss
+	}
+	// If no feature mattered, fall back to uniform weights.
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if total == 0 {
+		for i := range imp {
+			imp[i] = 1
+		}
+	}
+	return imp, nil
+}
+
+// knnAccuracy trains K-NN on train (dropping column dropCol if ≥ 0) and
+// returns its accuracy on probe.
+func knnAccuracy(train, probe *table.Table, k int, kernel knn.Kernel, dropCol int) (float64, error) {
+	tr := train
+	pb := probe
+	if dropCol >= 0 {
+		tr = dropColumn(train, dropCol)
+		pb = dropColumn(probe, dropCol)
+	}
+	enc := table.FitEncoder(tr, 0)
+	clf, err := knn.NewClassifier(k, kernel, enc.EncodeAll(tr), tr.Labels, tr.NumLabels)
+	if err != nil {
+		return 0, err
+	}
+	return clf.Accuracy(enc.EncodeAll(pb), pb.Labels), nil
+}
+
+// dropColumn returns a shallow table without column f.
+func dropColumn(t *table.Table, f int) *table.Table {
+	cols := make([]*table.Column, 0, len(t.Cols)-1)
+	for i, c := range t.Cols {
+		if i != f {
+			cols = append(cols, c)
+		}
+	}
+	return &table.Table{Cols: cols, Labels: t.Labels, NumLabels: t.NumLabels}
+}

@@ -1,0 +1,185 @@
+package missing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/table"
+)
+
+func completeTable(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	c := make([]string, n)
+	labels := make([]int, n)
+	cats := []string{"a", "b", "c", "rare"}
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+		ci := rng.Intn(10)
+		switch {
+		case ci < 5:
+			c[i] = cats[0]
+		case ci < 8:
+			c[i] = cats[1]
+		case ci < 9:
+			c[i] = cats[2]
+		default:
+			c[i] = cats[3]
+		}
+		if x[i] > 0 {
+			labels[i] = 1
+		}
+	}
+	return table.MustNew([]*table.Column{
+		table.NewNumeric("x", x),
+		table.NewNumeric("y", y),
+		table.NewCategorical("c", c),
+	}, labels, 2)
+}
+
+func TestInjectMCARHitsRate(t *testing.T) {
+	tb := completeTable(2000, 1)
+	InjectMCAR(tb, 0.2, rand.New(rand.NewSource(2)))
+	r := tb.MissingCellRate()
+	if math.Abs(r-0.2) > 0.03 {
+		t.Fatalf("MCAR rate = %v, want ≈0.2", r)
+	}
+}
+
+func TestInjectMARLabelDependence(t *testing.T) {
+	tb := completeTable(4000, 3)
+	InjectMAR(tb, 0.2, rand.New(rand.NewSource(4)))
+	miss := [2]int{}
+	count := [2]int{}
+	for _, c := range tb.Cols {
+		for i := range c.Missing {
+			count[tb.Labels[i]]++
+			if c.Missing[i] {
+				miss[tb.Labels[i]]++
+			}
+		}
+	}
+	r0 := float64(miss[0]) / float64(count[0])
+	r1 := float64(miss[1]) / float64(count[1])
+	if r1 < 1.5*r0 {
+		t.Fatalf("MAR rates r0=%v r1=%v: label dependence missing", r0, r1)
+	}
+	overall := tb.MissingCellRate()
+	if math.Abs(overall-0.2) > 0.03 {
+		t.Fatalf("MAR overall rate = %v", overall)
+	}
+}
+
+func TestInjectMNARWeightsColumns(t *testing.T) {
+	tb := completeTable(3000, 5)
+	if err := InjectMNAR(tb, 0.1, []float64{1, 0, 0}, rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Cols[1].MissingCount() != 0 || tb.Cols[2].MissingCount() != 0 {
+		t.Fatal("zero-weight columns were injected")
+	}
+	if tb.Cols[0].MissingCount() == 0 {
+		t.Fatal("weighted column untouched")
+	}
+	if err := InjectMNAR(tb, 0.1, []float64{1}, rand.New(rand.NewSource(6))); err == nil {
+		t.Fatal("weight-length mismatch accepted")
+	}
+}
+
+func TestInjectMNARBiasedTargetsTails(t *testing.T) {
+	tb := completeTable(4000, 7)
+	if err := InjectMNARBiased(tb, 0.15, 1.5, []float64{1, 1, 1}, rand.New(rand.NewSource(8))); err != nil {
+		t.Fatal(err)
+	}
+	// Mean |z| of missing numeric cells should exceed the overall mean |z|
+	// (≈ 0.8 for a standard normal).
+	col := tb.Cols[0]
+	var missSum float64
+	var missN int
+	for i, v := range col.Nums {
+		if col.Missing[i] {
+			missSum += math.Abs(v)
+			missN++
+		}
+	}
+	if missN == 0 {
+		t.Fatal("no missing cells injected")
+	}
+	if avg := missSum / float64(missN); avg < 1.0 {
+		t.Fatalf("missing cells not tail-biased: mean |z| = %v", avg)
+	}
+	// Rate approximately honored.
+	if r := tb.MissingCellRate(); math.Abs(r-0.15) > 0.03 {
+		t.Fatalf("cell rate = %v", r)
+	}
+}
+
+func TestInjectMNARBiasedPrefersRareCategories(t *testing.T) {
+	tb := completeTable(4000, 9)
+	if err := InjectMNARBiased(tb, 0.1, 1.0, []float64{0, 0, 1}, rand.New(rand.NewSource(10))); err != nil {
+		t.Fatal(err)
+	}
+	col := tb.Cols[2]
+	missRare, totalRare, missCommon, totalCommon := 0, 0, 0, 0
+	for i, v := range col.Cats {
+		if v == "rare" || v == "c" {
+			totalRare++
+			if col.Missing[i] {
+				missRare++
+			}
+		} else if v == "a" {
+			totalCommon++
+			if col.Missing[i] {
+				missCommon++
+			}
+		}
+	}
+	rRare := float64(missRare) / float64(totalRare)
+	rCommon := float64(missCommon) / float64(totalCommon)
+	if rRare < 2*rCommon {
+		t.Fatalf("rare categories not preferred: rare=%v common=%v", rRare, rCommon)
+	}
+}
+
+func TestInjectMNARRows(t *testing.T) {
+	tb := completeTable(1000, 11)
+	if err := InjectMNARRows(tb, 0.2, 0.3, []float64{1, 1, 1}, rand.New(rand.NewSource(12))); err != nil {
+		t.Fatal(err)
+	}
+	if r := tb.MissingRowRate(); math.Abs(r-0.2) > 0.02 {
+		t.Fatalf("row rate = %v", r)
+	}
+}
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	tb := completeTable(600, 13)
+	imp, err := FeatureImportance(tb, 3, knn.NegEuclidean{}, rand.New(rand.NewSource(14)), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("%d importances", len(imp))
+	}
+	// Label is sign(x): column x must be the most important.
+	if !(imp[0] > imp[1] && imp[0] > imp[2]) {
+		t.Fatalf("importance ranking wrong: %v", imp)
+	}
+}
+
+func TestFeatureImportanceRejectsDirtyTable(t *testing.T) {
+	tb := completeTable(100, 15)
+	tb.Cols[0].SetMissing(0)
+	if _, err := FeatureImportance(tb, 3, knn.NegEuclidean{}, rand.New(rand.NewSource(16)), 0); err == nil {
+		t.Fatal("dirty table accepted")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	if MCAR.String() != "MCAR" || MAR.String() != "MAR" || MNAR.String() != "MNAR" {
+		t.Fatal("mechanism names wrong")
+	}
+}

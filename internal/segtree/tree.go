@@ -1,0 +1,145 @@
+// Package segtree implements the divide-and-conquer dynamic-programming tree
+// from appendix A.2 of the paper: a segment tree whose leaves hold degree-1
+// polynomials (the per-row "in / not in the top-K" weights) and whose
+// internal nodes hold K-truncated polynomial products
+//
+//	T(c, a, b) = Σ_k T(k, a, m) · T(c−k, m+1, b)
+//
+// so the root coefficient T(c, 1, N) is the total weight of choosing exactly
+// c rows into the top-K. Updating one leaf costs O(K² log N); reading the
+// root is O(1).
+package segtree
+
+// PolyTree is a fixed-size segment tree over n leaves, each node storing a
+// polynomial of k+1 coefficients.
+type PolyTree struct {
+	n     int // number of real leaves
+	k     int // polynomial degree bound (top-K capacity)
+	size  int // number of leaves in the padded (power-of-two) tree
+	nodes []float64
+}
+
+// New creates a tree with n leaves and capacity k. All real leaves start as
+// [1, 0, ..., 0] (the identity weight); padding leaves are identities too.
+func New(n, k int) *PolyTree {
+	if n < 0 || k < 0 {
+		panic("segtree: negative size")
+	}
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	if n == 0 {
+		size = 1
+	}
+	t := &PolyTree{n: n, k: k, size: size,
+		nodes: make([]float64, 2*size*(k+1)),
+	}
+	t.ResetIdentity()
+	return t
+}
+
+// Len returns the number of real leaves.
+func (t *PolyTree) Len() int { return t.n }
+
+// K returns the capacity bound.
+func (t *PolyTree) K() int { return t.k }
+
+// node returns the coefficient slice of tree node idx (1-based heap layout).
+func (t *PolyTree) node(idx int) []float64 {
+	w := t.k + 1
+	return t.nodes[idx*w : idx*w+w]
+}
+
+// ResetIdentity sets every leaf to the identity polynomial [1, 0, ..., 0]
+// and rebuilds internal nodes. O(size·K).
+func (t *PolyTree) ResetIdentity() {
+	w := t.k + 1
+	for i := range t.nodes {
+		t.nodes[i] = 0
+	}
+	// All nodes are [1,0,...]: identity products of identities.
+	for idx := 1; idx < 2*t.size; idx++ {
+		t.nodes[idx*w] = 1
+	}
+}
+
+// ResetLeaves sets every real leaf i to [p0[i], p1[i], 0, ...] (padding
+// leaves stay identity) and rebuilds all internal nodes bottom-up in
+// O(size·K²) — cheaper than n individual SetLeaf calls.
+func (t *PolyTree) ResetLeaves(p0, p1 []float64) {
+	if len(p0) != t.n || len(p1) != t.n {
+		panic("segtree: ResetLeaves length mismatch")
+	}
+	for i := 0; i < t.size; i++ {
+		leaf := t.node(t.size + i)
+		for j := range leaf {
+			leaf[j] = 0
+		}
+		if i < t.n {
+			leaf[0] = p0[i]
+			if t.k >= 1 {
+				leaf[1] = p1[i]
+			}
+		} else {
+			leaf[0] = 1
+		}
+	}
+	for idx := t.size - 1; idx >= 1; idx-- {
+		t.recompute(idx)
+	}
+}
+
+// SetLeaf sets leaf i to the polynomial [p0, p1, 0, ...] and updates the
+// path to the root. O(K² log n).
+func (t *PolyTree) SetLeaf(i int, p0, p1 float64) {
+	if i < 0 || i >= t.n {
+		panic("segtree: SetLeaf out of range")
+	}
+	leaf := t.node(t.size + i)
+	for j := range leaf {
+		leaf[j] = 0
+	}
+	leaf[0] = p0
+	if t.k >= 1 {
+		leaf[1] = p1
+	}
+	for idx := (t.size + i) / 2; idx >= 1; idx /= 2 {
+		t.recompute(idx)
+	}
+}
+
+// Leaf returns the current [p0, p1] of leaf i.
+func (t *PolyTree) Leaf(i int) (p0, p1 float64) {
+	leaf := t.node(t.size + i)
+	p0 = leaf[0]
+	if t.k >= 1 {
+		p1 = leaf[1]
+	}
+	return
+}
+
+// recompute sets node idx to the truncated convolution of its children.
+// dst never aliases the children (idx < 2·idx), so the convolution writes
+// straight into dst — descending c so dst[c] is finished before dst[c-1]
+// is produced (they are independent anyway).
+func (t *PolyTree) recompute(idx int) {
+	l, r, dst := t.node(2*idx), t.node(2*idx+1), t.node(idx)
+	for c := t.k; c >= 0; c-- {
+		s := 0.0
+		for a := 0; a <= c; a++ {
+			if l[a] == 0 {
+				continue
+			}
+			s += l[a] * r[c-a]
+		}
+		dst[c] = s
+	}
+}
+
+// Root returns the root polynomial: Root()[c] is the total weight of
+// configurations placing exactly c rows in the top-K. The returned slice
+// aliases internal storage; do not modify or retain across updates.
+func (t *PolyTree) Root() []float64 {
+	return t.node(1)
+}

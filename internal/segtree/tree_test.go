@@ -1,0 +1,163 @@
+package segtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refConvolve computes the truncated product of leaf polynomials directly.
+func refConvolve(leaves [][2]float64, k int) []float64 {
+	acc := make([]float64, k+1)
+	acc[0] = 1
+	next := make([]float64, k+1)
+	for _, lf := range leaves {
+		for c := 0; c <= k; c++ {
+			v := lf[0] * acc[c]
+			if c > 0 {
+				v += lf[1] * acc[c-1]
+			}
+			next[c] = v
+		}
+		copy(acc, next)
+	}
+	return acc
+}
+
+func almostEq(a, b []float64, eps float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRootMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(4)
+		tr := New(n, k)
+		leaves := make([][2]float64, n)
+		for i := range leaves {
+			leaves[i] = [2]float64{rng.Float64(), rng.Float64()}
+			tr.SetLeaf(i, leaves[i][0], leaves[i][1])
+		}
+		want := refConvolve(leaves, k)
+		if !almostEq(tr.Root(), want, 1e-12) {
+			t.Fatalf("trial %d (n=%d k=%d): root %v want %v", trial, n, k, tr.Root(), want)
+		}
+	}
+}
+
+func TestIncrementalUpdatesMatchRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n, k := 9, 3
+	tr := New(n, k)
+	leaves := make([][2]float64, n)
+	for i := range leaves {
+		leaves[i] = [2]float64{rng.Float64(), rng.Float64()}
+		tr.SetLeaf(i, leaves[i][0], leaves[i][1])
+	}
+	for step := 0; step < 200; step++ {
+		i := rng.Intn(n)
+		leaves[i] = [2]float64{rng.Float64(), rng.Float64()}
+		tr.SetLeaf(i, leaves[i][0], leaves[i][1])
+		want := refConvolve(leaves, k)
+		if !almostEq(tr.Root(), want, 1e-12) {
+			t.Fatalf("step %d: root %v want %v", step, tr.Root(), want)
+		}
+	}
+}
+
+func TestResetLeaves(t *testing.T) {
+	n, k := 5, 2
+	tr := New(n, k)
+	p0 := []float64{1, 2, 3, 4, 5}
+	p1 := []float64{5, 4, 3, 2, 1}
+	tr.ResetLeaves(p0, p1)
+	leaves := make([][2]float64, n)
+	for i := range leaves {
+		leaves[i] = [2]float64{p0[i], p1[i]}
+	}
+	if !almostEq(tr.Root(), refConvolve(leaves, k), 1e-9) {
+		t.Fatalf("root after reset = %v", tr.Root())
+	}
+	// ResetIdentity: root must be [1, 0, 0].
+	tr.ResetIdentity()
+	root := tr.Root()
+	if root[0] != 1 || root[1] != 0 || root[2] != 0 {
+		t.Fatalf("identity root = %v", root)
+	}
+}
+
+func TestLeafReadback(t *testing.T) {
+	tr := New(3, 2)
+	tr.SetLeaf(1, 0.25, 0.75)
+	p0, p1 := tr.Leaf(1)
+	if p0 != 0.25 || p1 != 0.75 {
+		t.Fatalf("leaf = %v,%v", p0, p1)
+	}
+}
+
+func TestEmptyTreeIsIdentity(t *testing.T) {
+	tr := New(0, 3)
+	root := tr.Root()
+	if root[0] != 1 {
+		t.Fatalf("empty root = %v", root)
+	}
+	for _, v := range root[1:] {
+		if v != 0 {
+			t.Fatalf("empty root = %v", root)
+		}
+	}
+}
+
+func TestK0Tree(t *testing.T) {
+	tr := New(4, 0)
+	for i := 0; i < 4; i++ {
+		tr.SetLeaf(i, 0.5, 0.5) // p1 is dropped at k=0
+	}
+	root := tr.Root()
+	if math.Abs(root[0]-0.0625) > 1e-15 {
+		t.Fatalf("k=0 root = %v", root)
+	}
+}
+
+func TestSetLeafOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range leaf")
+		}
+	}()
+	New(2, 1).SetLeaf(5, 0, 0)
+}
+
+func TestRootSumProperty(t *testing.T) {
+	// If every leaf is a probability pair (p, 1−p) and k ≥ n, the root
+	// coefficients sum to 1 (a full binomial distribution).
+	f := func(raw []float64) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		n := len(raw)
+		tr := New(n, n)
+		for i, r := range raw {
+			p := math.Abs(math.Mod(r, 1))
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				p = 0.5
+			}
+			tr.SetLeaf(i, p, 1-p)
+		}
+		sum := 0.0
+		for _, v := range tr.Root() {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/knn"
+	"repro/internal/table"
+)
+
+func TestGeneratorShapes(t *testing.T) {
+	cases := []struct {
+		name     string
+		gen      func(int, int64) *table.Table
+		features int
+	}{
+		{"Supreme", Supreme, 7},
+		{"Bank", Bank, 8},
+		{"Puma", Puma, 8},
+		{"BabyProduct", BabyProduct, 7},
+	}
+	for _, c := range cases {
+		tb := c.gen(500, 1)
+		if tb.NumRows() != 500 {
+			t.Fatalf("%s: %d rows", c.name, tb.NumRows())
+		}
+		if tb.NumCols() != c.features {
+			t.Fatalf("%s: %d features, want %d", c.name, tb.NumCols(), c.features)
+		}
+		if tb.NumLabels != 2 {
+			t.Fatalf("%s: %d labels", c.name, tb.NumLabels)
+		}
+		if tb.MissingCellRate() != 0 {
+			t.Fatalf("%s: generator produced missing cells", c.name)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Supreme(100, 7)
+	b := Supreme(100, 7)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+	c := Supreme(100, 8)
+	diff := false
+	for i := range a.Labels {
+		if a.Labels[i] != c.Labels[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical labels")
+	}
+}
+
+func TestLabelBalance(t *testing.T) {
+	gens := map[string]func(int, int64) *table.Table{
+		"Supreme": Supreme, "Bank": Bank, "Puma": Puma, "BabyProduct": BabyProduct,
+	}
+	for name, gen := range gens {
+		tb := gen(3000, 11)
+		ones := 0
+		for _, y := range tb.Labels {
+			ones += y
+		}
+		frac := float64(ones) / float64(len(tb.Labels))
+		if frac < 0.25 || frac > 0.75 {
+			t.Fatalf("%s: label-1 fraction %v is too imbalanced", name, frac)
+		}
+	}
+}
+
+// TestTasksAreLearnable trains KNN on a clean split of each dataset and
+// requires accuracy comfortably above chance — the precondition for any
+// cleaning experiment to be meaningful.
+func TestTasksAreLearnable(t *testing.T) {
+	gens := map[string]func(int, int64) *table.Table{
+		"Supreme": Supreme, "Bank": Bank, "Puma": Puma, "BabyProduct": BabyProduct,
+	}
+	for name, gen := range gens {
+		tb := gen(900, 5)
+		split, err := tb.SplitRandom(rand.New(rand.NewSource(6)), 0, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := table.FitEncoder(split.Train, 0)
+		clf, err := knn.NewClassifier(3, knn.NegEuclidean{}, enc.EncodeAll(split.Train), split.Train.Labels, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := clf.Accuracy(enc.EncodeAll(split.Test), split.Test.Labels)
+		if acc < 0.58 {
+			t.Fatalf("%s: clean KNN accuracy %v barely above chance", name, acc)
+		}
+	}
+}
+
+func TestSupremeKeyFeaturesAreFiveLevel(t *testing.T) {
+	tb := Supreme(2000, 3)
+	for _, name := range []string{"liberal_votes", "justice_ideology"} {
+		col := tb.Col(name)
+		if col == nil {
+			t.Fatalf("column %s missing", name)
+		}
+		levels := map[float64]bool{}
+		for _, v := range col.Nums {
+			levels[v] = true
+		}
+		if len(levels) != 5 {
+			t.Fatalf("%s has %d levels, want 5", name, len(levels))
+		}
+	}
+}
+
+func TestInjectBabyProductErrorsPattern(t *testing.T) {
+	tb := BabyProduct(2000, 9)
+	rng := rand.New(rand.NewSource(10))
+	InjectBabyProductErrors(tb, 0.118, rng)
+	rate := tb.MissingRowRate()
+	if math.Abs(rate-0.118) > 0.02 {
+		t.Fatalf("row rate = %v, want ≈0.118", rate)
+	}
+	for _, c := range tb.Cols {
+		if c.Name != "brand" && c.Name != "weight" && c.MissingCount() > 0 {
+			t.Fatalf("column %s has missing cells", c.Name)
+		}
+	}
+	if tb.Col("brand").MissingCount() == 0 || tb.Col("weight").MissingCount() == 0 {
+		t.Fatal("brand/weight untouched")
+	}
+	// Value dependence: missing weights should skew heavy.
+	w := tb.Col("weight")
+	var missSum, allSum float64
+	var missN int
+	for i, v := range w.Nums {
+		allSum += v
+		if w.Missing[i] {
+			missSum += v
+			missN++
+		}
+	}
+	if missN == 0 || missSum/float64(missN) <= allSum/float64(len(w.Nums)) {
+		t.Fatalf("missing weights not heavier than average")
+	}
+}

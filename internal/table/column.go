@@ -1,0 +1,204 @@
+// Package table implements a small typed, columnar, in-memory table — the
+// "dataframe" substrate the paper's experiments sit on. A Table holds named
+// columns of numeric or categorical data with per-cell missingness, and
+// supports CSV I/O, summary statistics, normalization, feature encoding and
+// dataset splits.
+package table
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Kind is the data type of a column.
+type Kind int
+
+const (
+	// Numeric columns hold float64 values.
+	Numeric Kind = iota
+	// Categorical columns hold string values.
+	Categorical
+)
+
+// String returns a human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case Numeric:
+		return "numeric"
+	case Categorical:
+		return "categorical"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is a single named column. Exactly one of Nums/Cats is used,
+// selected by Kind. Missing[i] marks cell i as NULL; the corresponding
+// payload entry is ignored.
+type Column struct {
+	Name    string
+	Kind    Kind
+	Nums    []float64
+	Cats    []string
+	Missing []bool
+}
+
+// NewNumeric constructs a fully-observed numeric column.
+func NewNumeric(name string, vals []float64) *Column {
+	return &Column{Name: name, Kind: Numeric, Nums: vals, Missing: make([]bool, len(vals))}
+}
+
+// NewCategorical constructs a fully-observed categorical column.
+func NewCategorical(name string, vals []string) *Column {
+	return &Column{Name: name, Kind: Categorical, Cats: vals, Missing: make([]bool, len(vals))}
+}
+
+// Len returns the number of cells in the column.
+func (c *Column) Len() int {
+	if c.Kind == Numeric {
+		return len(c.Nums)
+	}
+	return len(c.Cats)
+}
+
+// MissingCount returns the number of missing cells.
+func (c *Column) MissingCount() int {
+	n := 0
+	for _, m := range c.Missing {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// Clone deep-copies the column.
+func (c *Column) Clone() *Column {
+	out := &Column{Name: c.Name, Kind: c.Kind}
+	if c.Nums != nil {
+		out.Nums = append([]float64(nil), c.Nums...)
+	}
+	if c.Cats != nil {
+		out.Cats = append([]string(nil), c.Cats...)
+	}
+	out.Missing = append([]bool(nil), c.Missing...)
+	return out
+}
+
+// SetMissing marks cell i missing.
+func (c *Column) SetMissing(i int) { c.Missing[i] = true }
+
+// IsMissing reports whether cell i is missing.
+func (c *Column) IsMissing(i int) bool { return c.Missing[i] }
+
+// NumStats summarizes the observed (non-missing) values of a numeric column.
+type NumStats struct {
+	Count            int
+	Min, Max         float64
+	Mean, Std        float64
+	P25, Median, P75 float64
+}
+
+// Stats computes summary statistics over the observed cells of a numeric
+// column. It panics if the column is categorical. If no cell is observed,
+// the zero NumStats is returned.
+func (c *Column) Stats() NumStats {
+	if c.Kind != Numeric {
+		panic("table: Stats on categorical column " + c.Name)
+	}
+	var obs []float64
+	for i, v := range c.Nums {
+		if !c.Missing[i] {
+			obs = append(obs, v)
+		}
+	}
+	if len(obs) == 0 {
+		return NumStats{}
+	}
+	sort.Float64s(obs)
+	st := NumStats{
+		Count:  len(obs),
+		Min:    obs[0],
+		Max:    obs[len(obs)-1],
+		P25:    quantile(obs, 0.25),
+		Median: quantile(obs, 0.5),
+		P75:    quantile(obs, 0.75),
+	}
+	sum := 0.0
+	for _, v := range obs {
+		sum += v
+	}
+	st.Mean = sum / float64(len(obs))
+	ss := 0.0
+	for _, v := range obs {
+		d := v - st.Mean
+		ss += d * d
+	}
+	if len(obs) > 1 {
+		st.Std = math.Sqrt(ss / float64(len(obs)-1))
+	}
+	return st
+}
+
+// quantile computes the linearly-interpolated q-quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CatCount is a category with its observed frequency.
+type CatCount struct {
+	Value string
+	Count int
+}
+
+// TopCategories returns up to n categories of a categorical column ordered
+// by descending observed frequency (ties broken alphabetically for
+// determinism). It panics if the column is numeric.
+func (c *Column) TopCategories(n int) []CatCount {
+	if c.Kind != Categorical {
+		panic("table: TopCategories on numeric column " + c.Name)
+	}
+	freq := map[string]int{}
+	for i, v := range c.Cats {
+		if !c.Missing[i] {
+			freq[v]++
+		}
+	}
+	out := make([]CatCount, 0, len(freq))
+	for v, k := range freq {
+		out = append(out, CatCount{Value: v, Count: k})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Count != out[b].Count {
+			return out[a].Count > out[b].Count
+		}
+		return out[a].Value < out[b].Value
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Mode returns the most frequent observed category, or "" if none observed.
+func (c *Column) Mode() string {
+	top := c.TopCategories(1)
+	if len(top) == 0 {
+		return ""
+	}
+	return top[0].Value
+}

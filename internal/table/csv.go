@@ -1,0 +1,132 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MissingToken is the cell value written/recognized as NULL in CSV files.
+const MissingToken = ""
+
+// extraMissingTokens are additional spellings accepted on read.
+var extraMissingTokens = map[string]bool{
+	"": true, "?": true, "NA": true, "N/A": true, "NaN": true, "nan": true,
+	"null": true, "NULL": true, "None": true,
+}
+
+// WriteCSV writes the table as CSV with a header row. The label column is
+// written last under the name "label". Missing cells become empty strings.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(t.Cols)+1)
+	for _, c := range t.Cols {
+		header = append(header, c.Name)
+	}
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for i := 0; i < t.NumRows(); i++ {
+		for ci, c := range t.Cols {
+			switch {
+			case c.Missing[i]:
+				rec[ci] = MissingToken
+			case c.Kind == Numeric:
+				rec[ci] = strconv.FormatFloat(c.Nums[i], 'g', -1, 64)
+			default:
+				rec[ci] = c.Cats[i]
+			}
+		}
+		rec[len(rec)-1] = strconv.Itoa(t.Labels[i])
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV with a header row into a Table. The last column is the
+// integer class label; every other column is inferred as numeric if all of
+// its observed values parse as floats, and categorical otherwise. Missing
+// cells are empty strings or any of "?", "NA", "N/A", "NaN", "null", "None".
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("table: csv needs a header and at least one row")
+	}
+	header := recs[0]
+	if len(header) < 2 {
+		return nil, fmt.Errorf("table: csv needs at least one feature column and a label")
+	}
+	body := recs[1:]
+	nrows := len(body)
+	ncols := len(header) - 1
+
+	labels := make([]int, nrows)
+	maxLabel := 0
+	for i, rec := range body {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("table: row %d has %d fields, want %d", i+1, len(rec), len(header))
+		}
+		y, err := strconv.Atoi(strings.TrimSpace(rec[ncols]))
+		if err != nil {
+			return nil, fmt.Errorf("table: row %d: bad label %q: %w", i+1, rec[ncols], err)
+		}
+		if y < 0 {
+			return nil, fmt.Errorf("table: row %d: negative label %d", i+1, y)
+		}
+		labels[i] = y
+		if y > maxLabel {
+			maxLabel = y
+		}
+	}
+
+	cols := make([]*Column, ncols)
+	for ci := 0; ci < ncols; ci++ {
+		missing := make([]bool, nrows)
+		raw := make([]string, nrows)
+		numeric := true
+		for ri, rec := range body {
+			v := strings.TrimSpace(rec[ci])
+			raw[ri] = v
+			if extraMissingTokens[v] {
+				missing[ri] = true
+				continue
+			}
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				numeric = false
+			}
+		}
+		col := &Column{Name: header[ci], Missing: missing}
+		if numeric {
+			col.Kind = Numeric
+			col.Nums = make([]float64, nrows)
+			for ri, v := range raw {
+				if missing[ri] {
+					continue
+				}
+				col.Nums[ri], _ = strconv.ParseFloat(v, 64)
+			}
+		} else {
+			col.Kind = Categorical
+			col.Cats = raw
+			for ri := range raw {
+				if missing[ri] {
+					col.Cats[ri] = ""
+				}
+			}
+		}
+		cols[ci] = col
+	}
+	return New(cols, labels, maxLabel+1)
+}

@@ -1,0 +1,180 @@
+package table
+
+import "fmt"
+
+// Cell is a single typed cell value, used to override or fill table cells
+// (e.g. candidate repairs for missing values).
+type Cell struct {
+	Kind Kind
+	Num  float64
+	Cat  string
+}
+
+// NumCell constructs a numeric cell.
+func NumCell(v float64) Cell { return Cell{Kind: Numeric, Num: v} }
+
+// CatCell constructs a categorical cell.
+func CatCell(v string) Cell { return Cell{Kind: Categorical, Cat: v} }
+
+// String renders the cell for display.
+func (c Cell) String() string {
+	if c.Kind == Numeric {
+		return fmt.Sprintf("%g", c.Num)
+	}
+	return c.Cat
+}
+
+// colSpec is the fitted encoding of one column.
+type colSpec struct {
+	kind Kind
+	// numeric: min-max scaling of observed training values.
+	min, scale float64
+	mean       float64 // imputation default
+	// categorical: category -> one-hot slot; unseen/other categories share
+	// the last slot.
+	index map[string]int
+	width int
+	mode  string // imputation default
+}
+
+// OneHotScale is the value written into active one-hot slots: 1/√2, so that
+// a category mismatch contributes exactly 1.0 to the squared Euclidean
+// distance — the same as a full-range numeric mismatch — instead of 2.0,
+// which would let categorical blocks dominate mixed-type distances.
+const OneHotScale = 0.7071067811865476
+
+// Encoder maps table rows to dense feature vectors: numeric columns are
+// min-max scaled to [0,1] using training statistics, categorical columns are
+// one-hot encoded (active slots get OneHotScale) over their training
+// categories with a shared "other" slot. Missing cells without an override
+// are imputed (mean / mode) — callers that care about incompleteness
+// override them with candidate repairs instead.
+type Encoder struct {
+	specs []colSpec
+	// Dim is the encoded feature dimensionality.
+	Dim int
+	// MaxCategories caps one-hot width per categorical column (0 = default 16).
+	MaxCategories int
+}
+
+// FitEncoder learns encoding parameters from the observed cells of t.
+func FitEncoder(t *Table, maxCategories int) *Encoder {
+	if maxCategories <= 0 {
+		maxCategories = 16
+	}
+	e := &Encoder{MaxCategories: maxCategories}
+	dim := 0
+	for _, c := range t.Cols {
+		var sp colSpec
+		sp.kind = c.Kind
+		if c.Kind == Numeric {
+			st := c.Stats()
+			sp.min = st.Min
+			if st.Max > st.Min {
+				sp.scale = 1 / (st.Max - st.Min)
+			} else {
+				sp.scale = 0
+			}
+			sp.mean = st.Mean
+			dim++
+		} else {
+			top := c.TopCategories(maxCategories)
+			sp.index = make(map[string]int, len(top))
+			for i, cc := range top {
+				sp.index[cc.Value] = i
+			}
+			sp.width = len(top) + 1 // +1 "other" slot
+			sp.mode = c.Mode()
+			dim += sp.width
+		}
+		e.specs = append(e.specs, sp)
+	}
+	e.Dim = dim
+	return e
+}
+
+// EncodeRow encodes row `row` of t into a dense vector. override maps column
+// index -> replacement cell value (used for candidate repairs of missing
+// cells); overridden cells are used regardless of their missing flag.
+func (e *Encoder) EncodeRow(t *Table, row int, override map[int]Cell) []float64 {
+	out := make([]float64, e.Dim)
+	e.EncodeRowInto(out, t, row, override)
+	return out
+}
+
+// EncodeRowInto is EncodeRow writing into dst (len(dst) must equal e.Dim).
+func (e *Encoder) EncodeRowInto(dst []float64, t *Table, row int, override map[int]Cell) {
+	if len(dst) != e.Dim {
+		panic(fmt.Sprintf("table: EncodeRowInto dst has dim %d, want %d", len(dst), e.Dim))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	pos := 0
+	for ci, c := range t.Cols {
+		sp := &e.specs[ci]
+		if sp.kind == Numeric {
+			v := c.Nums[row]
+			if ov, ok := override[ci]; ok {
+				v = ov.Num
+			} else if c.Missing[row] {
+				v = sp.mean
+			}
+			dst[pos] = (v - sp.min) * sp.scale
+			pos++
+		} else {
+			v := c.Cats[row]
+			if ov, ok := override[ci]; ok {
+				v = ov.Cat
+			} else if c.Missing[row] {
+				v = sp.mode
+			}
+			slot, ok := sp.index[v]
+			if !ok {
+				slot = sp.width - 1 // "other"
+			}
+			dst[pos+slot] = OneHotScale
+			pos += sp.width
+		}
+	}
+}
+
+// EncodeAll encodes every row of t (with imputation of missing cells).
+func (e *Encoder) EncodeAll(t *Table) [][]float64 {
+	out := make([][]float64, t.NumRows())
+	for i := range out {
+		out[i] = e.EncodeRow(t, i, nil)
+	}
+	return out
+}
+
+// ImputeDefaults returns a copy of t with every missing numeric cell replaced
+// by the column mean and every missing categorical cell by the column mode —
+// the paper's "Default Cleaning" baseline. Statistics are computed on t's own
+// observed cells.
+func ImputeDefaults(t *Table) *Table {
+	out := t.Clone()
+	for _, c := range out.Cols {
+		if c.MissingCount() == 0 {
+			continue
+		}
+		if c.Kind == Numeric {
+			mean := c.Stats().Mean
+			for i := range c.Nums {
+				if c.Missing[i] {
+					c.Nums[i] = mean
+					c.Missing[i] = false
+				}
+			}
+		} else {
+			mode := c.Mode()
+			for i := range c.Cats {
+				if c.Missing[i] {
+					c.Cats[i] = mode
+					c.Missing[i] = false
+				}
+			}
+		}
+	}
+	return out
+}

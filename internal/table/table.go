@@ -1,0 +1,167 @@
+package table
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Table is a collection of equal-length columns plus an integer label vector.
+// Labels are class indices in [0, NumLabels).
+type Table struct {
+	Cols      []*Column
+	Labels    []int
+	NumLabels int
+}
+
+// New creates a table from columns and labels, validating lengths.
+func New(cols []*Column, labels []int, numLabels int) (*Table, error) {
+	n := len(labels)
+	for _, c := range cols {
+		if c.Len() != n {
+			return nil, fmt.Errorf("table: column %q has %d rows, want %d", c.Name, c.Len(), n)
+		}
+		if len(c.Missing) != n {
+			return nil, fmt.Errorf("table: column %q missing-mask has %d entries, want %d", c.Name, len(c.Missing), n)
+		}
+	}
+	for i, y := range labels {
+		if y < 0 || y >= numLabels {
+			return nil, fmt.Errorf("table: label %d at row %d out of range [0,%d)", y, i, numLabels)
+		}
+	}
+	return &Table{Cols: cols, Labels: labels, NumLabels: numLabels}, nil
+}
+
+// MustNew is New but panics on error; for generators with known-good shapes.
+func MustNew(cols []*Column, labels []int, numLabels int) *Table {
+	t, err := New(cols, labels, numLabels)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() int { return len(t.Labels) }
+
+// NumCols returns the number of feature columns (label excluded).
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// Col returns the column with the given name, or nil.
+func (t *Table) Col(name string) *Column {
+	for _, c := range t.Cols {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	cols := make([]*Column, len(t.Cols))
+	for i, c := range t.Cols {
+		cols[i] = c.Clone()
+	}
+	return &Table{
+		Cols:      cols,
+		Labels:    append([]int(nil), t.Labels...),
+		NumLabels: t.NumLabels,
+	}
+}
+
+// RowIsDirty reports whether any cell of row i is missing.
+func (t *Table) RowIsDirty(i int) bool {
+	for _, c := range t.Cols {
+		if c.Missing[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// DirtyRows returns the indices of rows with at least one missing cell.
+func (t *Table) DirtyRows() []int {
+	var out []int
+	for i := 0; i < t.NumRows(); i++ {
+		if t.RowIsDirty(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MissingCellRate returns the fraction of missing cells over all cells.
+func (t *Table) MissingCellRate() float64 {
+	total, miss := 0, 0
+	for _, c := range t.Cols {
+		total += c.Len()
+		miss += c.MissingCount()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(miss) / float64(total)
+}
+
+// MissingRowRate returns the fraction of rows with at least one missing cell.
+func (t *Table) MissingRowRate() float64 {
+	if t.NumRows() == 0 {
+		return 0
+	}
+	return float64(len(t.DirtyRows())) / float64(t.NumRows())
+}
+
+// Subset returns a new table containing the given rows, in order.
+func (t *Table) Subset(rows []int) *Table {
+	cols := make([]*Column, len(t.Cols))
+	for ci, c := range t.Cols {
+		nc := &Column{Name: c.Name, Kind: c.Kind, Missing: make([]bool, len(rows))}
+		if c.Kind == Numeric {
+			nc.Nums = make([]float64, len(rows))
+		} else {
+			nc.Cats = make([]string, len(rows))
+		}
+		for ri, r := range rows {
+			nc.Missing[ri] = c.Missing[r]
+			if c.Kind == Numeric {
+				nc.Nums[ri] = c.Nums[r]
+			} else {
+				nc.Cats[ri] = c.Cats[r]
+			}
+		}
+		cols[ci] = nc
+	}
+	labels := make([]int, len(rows))
+	for ri, r := range rows {
+		labels[ri] = t.Labels[r]
+	}
+	return &Table{Cols: cols, Labels: labels, NumLabels: t.NumLabels}
+}
+
+// Split holds a train/validation/test partition of a table.
+type Split struct {
+	Train, Val, Test *Table
+	// TrainRows etc. map split rows back to rows of the source table.
+	TrainRows, ValRows, TestRows []int
+}
+
+// SplitRandom partitions the table into validation and test sets of the given
+// sizes (the remainder becomes training data), shuffling with rng. It mirrors
+// the paper's protocol: "randomly select 1,000 examples as the validation set
+// and 1,000 examples as the test set; the remaining examples are used as the
+// training set."
+func (t *Table) SplitRandom(rng *rand.Rand, valN, testN int) (*Split, error) {
+	n := t.NumRows()
+	if valN+testN >= n {
+		return nil, fmt.Errorf("table: split sizes val=%d test=%d exceed %d rows", valN, testN, n)
+	}
+	perm := rng.Perm(n)
+	valRows := append([]int(nil), perm[:valN]...)
+	testRows := append([]int(nil), perm[valN:valN+testN]...)
+	trainRows := append([]int(nil), perm[valN+testN:]...)
+	return &Split{
+		Train: t.Subset(trainRows), Val: t.Subset(valRows), Test: t.Subset(testRows),
+		TrainRows: trainRows, ValRows: valRows, TestRows: testRows,
+	}, nil
+}

@@ -1,0 +1,316 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTable() *Table {
+	return MustNew([]*Column{
+		NewNumeric("x", []float64{1, 2, 3, 4, 5, 6}),
+		NewCategorical("c", []string{"a", "b", "a", "c", "a", "b"}),
+	}, []int{0, 1, 0, 1, 0, 1}, 2)
+}
+
+func TestColumnStats(t *testing.T) {
+	c := NewNumeric("x", []float64{4, 1, 3, 2, 5})
+	st := c.Stats()
+	if st.Min != 1 || st.Max != 5 {
+		t.Fatalf("min/max = %v/%v", st.Min, st.Max)
+	}
+	if st.Mean != 3 {
+		t.Fatalf("mean = %v", st.Mean)
+	}
+	if st.Median != 3 {
+		t.Fatalf("median = %v", st.Median)
+	}
+	if st.P25 != 2 || st.P75 != 4 {
+		t.Fatalf("quartiles = %v/%v", st.P25, st.P75)
+	}
+	if math.Abs(st.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", st.Std)
+	}
+}
+
+func TestColumnStatsSkipsMissing(t *testing.T) {
+	c := NewNumeric("x", []float64{1, 100, 3})
+	c.SetMissing(1)
+	st := c.Stats()
+	if st.Count != 2 || st.Max != 3 || st.Mean != 2 {
+		t.Fatalf("stats with missing = %+v", st)
+	}
+}
+
+func TestTopCategoriesAndMode(t *testing.T) {
+	c := NewCategorical("c", []string{"b", "a", "a", "c", "a", "b"})
+	top := c.TopCategories(2)
+	if len(top) != 2 || top[0].Value != "a" || top[0].Count != 3 || top[1].Value != "b" {
+		t.Fatalf("top = %+v", top)
+	}
+	if c.Mode() != "a" {
+		t.Fatalf("mode = %q", c.Mode())
+	}
+}
+
+func TestTopCategoriesTieBreak(t *testing.T) {
+	c := NewCategorical("c", []string{"z", "y", "y", "z"})
+	top := c.TopCategories(2)
+	if top[0].Value != "y" || top[1].Value != "z" {
+		t.Fatalf("alphabetical tie-break violated: %+v", top)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	got := quantile([]float64{0, 10}, 0.5)
+	if got != 5 {
+		t.Fatalf("quantile = %v", got)
+	}
+	if q := quantile([]float64{7}, 0.9); q != 7 {
+		t.Fatalf("single-element quantile = %v", q)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New([]*Column{NewNumeric("x", []float64{1})}, []int{0, 1}, 2); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := New(nil, []int{5}, 2); err == nil {
+		t.Fatal("out-of-range label not rejected")
+	}
+}
+
+func TestSubsetAndClone(t *testing.T) {
+	tb := sampleTable()
+	sub := tb.Subset([]int{4, 0})
+	if sub.NumRows() != 2 || sub.Cols[0].Nums[0] != 5 || sub.Cols[0].Nums[1] != 1 {
+		t.Fatalf("subset wrong: %+v", sub.Cols[0].Nums)
+	}
+	if sub.Labels[0] != 0 {
+		t.Fatalf("subset label = %d", sub.Labels[0])
+	}
+	cl := tb.Clone()
+	cl.Cols[0].Nums[0] = 99
+	if tb.Cols[0].Nums[0] == 99 {
+		t.Fatal("clone aliases source")
+	}
+}
+
+func TestDirtyRowsAndRates(t *testing.T) {
+	tb := sampleTable()
+	tb.Cols[0].SetMissing(1)
+	tb.Cols[1].SetMissing(1)
+	tb.Cols[1].SetMissing(3)
+	if got := tb.DirtyRows(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("dirty rows = %v", got)
+	}
+	if r := tb.MissingRowRate(); math.Abs(r-2.0/6) > 1e-12 {
+		t.Fatalf("row rate = %v", r)
+	}
+	if r := tb.MissingCellRate(); math.Abs(r-3.0/12) > 1e-12 {
+		t.Fatalf("cell rate = %v", r)
+	}
+}
+
+func TestSplitRandomPartitions(t *testing.T) {
+	tb := sampleTable()
+	sp, err := tb.SplitRandom(rand.New(rand.NewSource(1)), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Val.NumRows() != 2 || sp.Test.NumRows() != 2 || sp.Train.NumRows() != 2 {
+		t.Fatalf("split sizes: %d/%d/%d", sp.Train.NumRows(), sp.Val.NumRows(), sp.Test.NumRows())
+	}
+	seen := map[int]bool{}
+	for _, rows := range [][]int{sp.TrainRows, sp.ValRows, sp.TestRows} {
+		for _, r := range rows {
+			if seen[r] {
+				t.Fatalf("row %d in two partitions", r)
+			}
+			seen[r] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("partition covers %d rows", len(seen))
+	}
+	if _, err := tb.SplitRandom(rand.New(rand.NewSource(1)), 4, 2); err == nil {
+		t.Fatal("oversized split not rejected")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := sampleTable()
+	tb.Cols[0].SetMissing(2)
+	tb.Cols[1].SetMissing(4)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != tb.NumRows() || got.NumCols() != tb.NumCols() {
+		t.Fatalf("shape %dx%d", got.NumRows(), got.NumCols())
+	}
+	if got.Cols[0].Kind != Numeric || got.Cols[1].Kind != Categorical {
+		t.Fatalf("kinds: %v %v", got.Cols[0].Kind, got.Cols[1].Kind)
+	}
+	if !got.Cols[0].Missing[2] || !got.Cols[1].Missing[4] {
+		t.Fatal("missing flags lost in round trip")
+	}
+	for i := range tb.Labels {
+		if got.Labels[i] != tb.Labels[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		if i != 2 && got.Cols[0].Nums[i] != tb.Cols[0].Nums[i] {
+			t.Fatalf("numeric cell %d changed", i)
+		}
+	}
+}
+
+func TestReadCSVMissingTokens(t *testing.T) {
+	in := "x,c,label\n1,a,0\nNA,?,1\nnan,null,0\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cols[0].Missing[1] || !got.Cols[0].Missing[2] {
+		t.Fatal("NA/nan not recognized as missing")
+	}
+	if !got.Cols[1].Missing[1] || !got.Cols[1].Missing[2] {
+		t.Fatal("?/null not recognized as missing")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("x,label\n")); err == nil {
+		t.Fatal("header-only csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("x,label\n1,notanint\n")); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("label\n0\n")); err == nil {
+		t.Fatal("featureless csv accepted")
+	}
+}
+
+func TestEncoderNumericScaling(t *testing.T) {
+	tb := MustNew([]*Column{NewNumeric("x", []float64{0, 5, 10})}, []int{0, 1, 0}, 2)
+	enc := FitEncoder(tb, 0)
+	if enc.Dim != 1 {
+		t.Fatalf("dim = %d", enc.Dim)
+	}
+	v := enc.EncodeRow(tb, 1, nil)
+	if v[0] != 0.5 {
+		t.Fatalf("scaled = %v", v[0])
+	}
+}
+
+func TestEncoderCategoricalOneHot(t *testing.T) {
+	tb := sampleTable()
+	enc := FitEncoder(tb, 0)
+	// 1 numeric + (3 categories + other) = 5 dims.
+	if enc.Dim != 5 {
+		t.Fatalf("dim = %d", enc.Dim)
+	}
+	v := enc.EncodeRow(tb, 0, nil) // category "a"
+	hot := 0
+	for _, x := range v[1:] {
+		if x != 0 {
+			hot++
+			if math.Abs(x-OneHotScale) > 1e-15 {
+				t.Fatalf("one-hot value %v", x)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("%d hot slots", hot)
+	}
+}
+
+func TestEncoderUnseenCategoryGoesToOther(t *testing.T) {
+	tb := sampleTable()
+	enc := FitEncoder(tb, 0)
+	a := enc.EncodeRow(tb, 0, map[int]Cell{1: CatCell("zebra")})
+	b := enc.EncodeRow(tb, 0, map[int]Cell{1: CatCell("unicorn")})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("two unseen categories encode differently")
+		}
+	}
+}
+
+func TestEncoderOverrideAndImpute(t *testing.T) {
+	tb := sampleTable()
+	tb.Cols[0].SetMissing(0)
+	enc := FitEncoder(tb, 0)
+	imputed := enc.EncodeRow(tb, 0, nil)
+	mean := tb.Cols[0].Stats().Mean
+	want := (mean - 2) / 4 // observed range [2,6] after cell 0 went missing
+	if math.Abs(imputed[0]-want) > 1e-12 {
+		t.Fatalf("imputed = %v want %v", imputed[0], want)
+	}
+	forced := enc.EncodeRow(tb, 0, map[int]Cell{0: NumCell(6)})
+	if forced[0] != 1 {
+		t.Fatalf("override = %v", forced[0])
+	}
+}
+
+func TestImputeDefaults(t *testing.T) {
+	tb := sampleTable()
+	tb.Cols[0].SetMissing(0)
+	tb.Cols[1].SetMissing(1)
+	clean := ImputeDefaults(tb)
+	if clean.MissingCellRate() != 0 {
+		t.Fatal("missing cells remain")
+	}
+	if clean.Cols[0].Nums[0] != tb.Cols[0].Stats().Mean {
+		t.Fatalf("mean imputation = %v", clean.Cols[0].Nums[0])
+	}
+	if clean.Cols[1].Cats[1] != "a" {
+		t.Fatalf("mode imputation = %q", clean.Cols[1].Cats[1])
+	}
+	if tb.MissingCellRate() == 0 {
+		t.Fatal("ImputeDefaults mutated its input")
+	}
+}
+
+func TestQuantilePropertyMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = v
+		}
+		c := NewNumeric("x", vals)
+		st := c.Stats()
+		return st.Min <= st.P25 && st.P25 <= st.Median &&
+			st.Median <= st.P75 && st.P75 <= st.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeAllMatchesEncodeRow(t *testing.T) {
+	tb := sampleTable()
+	enc := FitEncoder(tb, 0)
+	all := enc.EncodeAll(tb)
+	for i := range all {
+		row := enc.EncodeRow(tb, i, nil)
+		for d := range row {
+			if row[d] != all[i][d] {
+				t.Fatalf("row %d dim %d mismatch", i, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package repro is a Go implementation of "Nearest Neighbor Classifiers over
+// Incomplete Information: From Certain Answers to Certain Predictions"
+// (Karlaš et al., VLDB 2020): Certain-Prediction (CP) queries for K-nearest-
+// neighbor classifiers over incomplete training data, answered in polynomial
+// time over exponentially many possible worlds, plus the CPClean
+// data-cleaning-for-ML algorithm built on top of them.
+//
+// # Concepts
+//
+// An incomplete dataset (Dataset) assigns each training example a candidate
+// set C_i of possible feature vectors; every way of choosing one candidate
+// per example is a possible world. A test point is *certainly predicted*
+// (CP'ed) if the K-NN classifiers of all possible worlds agree on its label.
+//
+// Two primitive queries:
+//
+//   - Q1 (checking): is label y predicted in every possible world?
+//   - Q2 (counting): what fraction of possible worlds predict y?
+//
+// # Quick start
+//
+//	d := repro.MustDataset([]repro.Example{
+//	    {Candidates: [][]float64{{0.1}, {0.9}}, Label: 0}, // uncertain row
+//	    {Candidates: [][]float64{{0.8}}, Label: 1},
+//	}, 2)
+//	q1, q2, _ := repro.Query(d, repro.NegEuclidean{}, []float64{0.85}, 1)
+//
+// For data cleaning, build a Task from a dirty table and run CPClean; see
+// examples/ and the cmd/ tools.
+package repro
+
+import (
+	"repro/internal/cleaning"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/table"
+)
+
+// Re-exported dataset model (paper §2, Definitions 1-2).
+type (
+	// Example is one training example with a candidate set of possible
+	// feature vectors.
+	Example = dataset.Example
+	// Dataset is an incomplete training set D = {(C_i, y_i)}.
+	Dataset = dataset.Incomplete
+)
+
+// Re-exported kernels (the paper's similarity functions κ).
+type (
+	// Kernel scores similarity between feature vectors.
+	Kernel = knn.Kernel
+	// NegEuclidean is the paper's experimental kernel: −‖a−b‖₂.
+	NegEuclidean = knn.NegEuclidean
+	// RBF is the Gaussian kernel exp(−γ‖a−b‖²).
+	RBF = knn.RBF
+	// Linear is the dot-product kernel.
+	Linear = knn.Linear
+	// Cosine is the cosine-similarity kernel.
+	Cosine = knn.Cosine
+)
+
+// Re-exported CP query machinery (paper §3).
+type (
+	// Instance is an incomplete dataset viewed through one test point
+	// (candidate similarities + labels).
+	Instance = core.Instance
+	// Engine answers repeated Q1/Q2 queries for one test point under
+	// evolving cleaning state.
+	Engine = core.Engine
+	// Scratch is per-goroutine engine query state.
+	Scratch = core.Scratch
+	// ExactCounts is a big-integer Q2 answer.
+	ExactCounts = core.ExactCounts
+	// Algorithm selects a query implementation (SS, SS-DC, MM, ...).
+	Algorithm = core.Algorithm
+)
+
+// Algorithm selectors.
+const (
+	Auto       = core.Auto
+	BruteForce = core.BruteForce
+	SSExact    = core.SSExact
+	SSFast     = core.SSFast
+	SSDC       = core.SSDC
+	SSDCMC     = core.SSDCMC
+	MM         = core.MM
+)
+
+// Re-exported cleaning application (paper §4-5).
+type (
+	// Task is a data-cleaning-for-ML problem instance.
+	Task = cleaning.Task
+	// CleanOptions configures CPClean / RandomClean runs.
+	CleanOptions = cleaning.Options
+	// CleanResult summarizes an iterative cleaning run.
+	CleanResult = cleaning.Result
+	// StepInfo is one step of a cleaning trajectory.
+	StepInfo = cleaning.StepInfo
+	// RepairOptions configures candidate-repair generation.
+	RepairOptions = repair.Options
+)
+
+// Re-exported table substrate.
+type (
+	// Table is a typed in-memory table with missing cells.
+	Table = table.Table
+	// Column is one table column.
+	Column = table.Column
+	// Encoder maps table rows to feature vectors.
+	Encoder = table.Encoder
+)
+
+// NewDataset validates and constructs an incomplete dataset.
+func NewDataset(examples []Example, numLabels int) (*Dataset, error) {
+	return dataset.New(examples, numLabels)
+}
+
+// MustDataset is NewDataset but panics on error.
+func MustDataset(examples []Example, numLabels int) *Dataset {
+	return dataset.MustNew(examples, numLabels)
+}
+
+// FromComplete wraps a complete training set as an incomplete dataset with
+// singleton candidate sets.
+func FromComplete(x [][]float64, y []int, numLabels int) (*Dataset, error) {
+	return dataset.FromComplete(x, y, numLabels)
+}
+
+// Query answers both CP queries for test point t: q1[y] reports whether y is
+// certainly predicted; q2[y] is the fraction of possible worlds predicting y.
+func Query(d *Dataset, kernel Kernel, t []float64, k int) (q1 []bool, q2 []float64, err error) {
+	return core.QueryDataset(d, kernel, t, k)
+}
+
+// Q1 answers the checking query on a similarity instance with the chosen
+// algorithm.
+func Q1(inst *Instance, k int, alg Algorithm) ([]bool, error) {
+	return core.Q1(inst, k, alg)
+}
+
+// Q2 answers the counting query (normalized world fractions) on a similarity
+// instance with the chosen algorithm.
+func Q2(inst *Instance, k int, alg Algorithm) ([]float64, error) {
+	return core.Q2(inst, k, alg)
+}
+
+// InstanceFor computes the similarity view of (d, t) under kernel.
+func InstanceFor(d *Dataset, kernel Kernel, t []float64) *Instance {
+	return core.InstanceFor(d, kernel, t)
+}
+
+// NewEngine builds a reusable CP-query engine for one test point.
+func NewEngine(d *Dataset, kernel Kernel, t []float64) *Engine {
+	return core.NewEngine(d, kernel, t)
+}
+
+// Entropy is the Shannon entropy (nats) of a Q2 distribution — CPClean's
+// selection objective.
+func Entropy(q2 []float64) float64 { return core.Entropy(q2) }
+
+// WeightedInstance attaches per-candidate prior probabilities to an
+// Instance — the block tuple-independent probabilistic-database semantics
+// with non-uniform priors.
+type WeightedInstance = core.WeightedInstance
+
+// NewWeightedInstance validates priors (each row must sum to 1).
+func NewWeightedInstance(inst *Instance, probs [][]float64) (*WeightedInstance, error) {
+	return core.NewWeightedInstance(inst, probs)
+}
+
+// WeightedQ2 computes P[prediction = y] under candidate priors.
+func WeightedQ2(wi *WeightedInstance, k int) ([]float64, error) {
+	return core.WeightedQ2(wi, k)
+}
+
+// NewTask assembles a data-cleaning task from a dirty training table, its
+// ground truth (for the simulated cleaning oracle), and complete
+// validation/test tables.
+func NewTask(dirty, truth, val, test *Table, k int, kernel Kernel, opts RepairOptions) (*Task, error) {
+	return cleaning.NewTask(dirty, truth, val, test, k, kernel, opts)
+}
+
+// CPClean runs the paper's Algorithm 3: greedy minimum-expected-entropy
+// cleaning until every validation example is certainly predicted.
+func CPClean(t *Task, opts CleanOptions) (*CleanResult, error) {
+	return cleaning.CPClean(t, opts)
+}
+
+// RandomClean is the random-order cleaning baseline.
+func RandomClean(t *Task, opts CleanOptions) (*CleanResult, error) {
+	return cleaning.RandomClean(t, opts)
+}

@@ -1,0 +1,125 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end: the Figure 1
+// scenario from the package documentation.
+func TestFacadeQuickstart(t *testing.T) {
+	d := MustDataset([]Example{
+		{Candidates: [][]float64{{32}}, Label: 0},
+		{Candidates: [][]float64{{29}}, Label: 1},
+		{Candidates: [][]float64{{25}, {65}}, Label: 1},
+	}, 2)
+	if d.WorldCount().Int64() != 2 {
+		t.Fatalf("world count %s", d.WorldCount())
+	}
+
+	// Near Anna (29): 1-NN is Anna or Kevin@25, both label 1 → certain.
+	q1, q2, err := Query(d, NegEuclidean{}, []float64{28}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q1[1] || q2[1] != 1 {
+		t.Fatalf("age 28: q1=%v q2=%v", q1, q2)
+	}
+
+	// At 60: Kevin@65 (label 1) vs John@32 (label 0) split the worlds.
+	q1, q2, err = Query(d, NegEuclidean{}, []float64{60}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1[0] || q1[1] {
+		t.Fatalf("age 60 should be uncertain: %v", q1)
+	}
+	if q2[0] != 0.5 || q2[1] != 0.5 {
+		t.Fatalf("age 60 fractions %v", q2)
+	}
+	if h := Entropy(q2); math.Abs(h-math.Log(2)) > 1e-12 {
+		t.Fatalf("entropy %v", h)
+	}
+}
+
+func TestFacadeEngineAndPins(t *testing.T) {
+	d := MustDataset([]Example{
+		{Candidates: [][]float64{{0}}, Label: 0},
+		{Candidates: [][]float64{{1}}, Label: 1},
+		{Candidates: [][]float64{{0.4}, {0.6}}, Label: 0},
+	}, 2)
+	e := NewEngine(d, NegEuclidean{}, []float64{0.5})
+	sc, err := e.NewScratch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Counts(sc, -1, -1)
+	if p[0] != 1 {
+		t.Fatalf("both candidates of row 2 are nearest and labeled 0: %v", p)
+	}
+	// Pin row 2 away and the 1-NN becomes ambiguous between rows 0/1? No —
+	// row 2 remains nearest; counts stay certain.
+	e.SetPin(2, 1)
+	p = e.Counts(sc, -1, -1)
+	if p[0] != 1 {
+		t.Fatalf("pinned counts %v", p)
+	}
+}
+
+func TestFacadeWeighted(t *testing.T) {
+	d := MustDataset([]Example{
+		{Candidates: [][]float64{{0}}, Label: 0},
+		{Candidates: [][]float64{{1}}, Label: 1},
+		{Candidates: [][]float64{{0.1}, {0.9}}, Label: 1},
+	}, 2)
+	inst := InstanceFor(d, NegEuclidean{}, []float64{0.1})
+	wi, err := NewWeightedInstance(inst, [][]float64{{1}, {1}, {0.25, 0.75}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := WeightedQ2(wi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-NN of t=0.1: row 2's candidate 0.1 (label 1, exact hit) wins with
+	// prior 0.25; otherwise row 0 at distance 0.1 (label 0).
+	if math.Abs(p[1]-0.25) > 1e-12 || math.Abs(p[0]-0.75) > 1e-12 {
+		t.Fatalf("weighted fractions %v", p)
+	}
+}
+
+func TestFacadeFromComplete(t *testing.T) {
+	d, err := FromComplete([][]float64{{0}, {1}}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, _, err := Query(d, NegEuclidean{}, []float64{0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q1[0] {
+		t.Fatal("complete dataset must be certain")
+	}
+}
+
+func TestFacadeQ1Q2Dispatch(t *testing.T) {
+	d := MustDataset([]Example{
+		{Candidates: [][]float64{{0}, {2}}, Label: 0},
+		{Candidates: [][]float64{{1}}, Label: 1},
+		{Candidates: [][]float64{{3}}, Label: 1},
+	}, 2)
+	inst := InstanceFor(d, NegEuclidean{}, []float64{1.5})
+	for _, alg := range []Algorithm{Auto, SSDC, SSDCMC, SSExact, BruteForce} {
+		q2, err := Q2(inst, 1, alg)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		sum := q2[0] + q2[1]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%v: fractions %v", alg, q2)
+		}
+	}
+	if _, err := Q1(inst, 1, MM); err != nil {
+		t.Fatal(err)
+	}
+}
