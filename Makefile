@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the serving layer (shared
+# engines + pooled scratches) and the cleaning loop (parallel hypothesis
+# sweeps).
+race:
+	$(GO) test -race ./internal/serve/... ./internal/cleaning/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+# Tier-1 gate plus the race suite.
+verify: build vet test race
+
+clean:
+	rm -f cpbench cpclean cpquery cpserve datagen *.test *.prof

@@ -12,7 +12,10 @@ import (
 
 	"repro/internal/cleaning"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/knn"
+	"repro/internal/serve"
 )
 
 // --- Table and figure regenerators (tiny scale) -----------------------------
@@ -185,6 +188,127 @@ func BenchmarkAblation_SSFastExact_K1_N250(b *testing.B) {
 	}
 }
 
+// --- Serving layer ------------------------------------------------------------
+
+// benchServeData builds a deterministic incomplete dataset in feature space
+// (benchInstance works on similarities; serving needs raw candidates).
+func benchServeData(n, m, numLabels, dim int, seed int64) *dataset.Incomplete {
+	rng := rand.New(rand.NewSource(seed))
+	examples := make([]dataset.Example, n)
+	for i := range examples {
+		label := rng.Intn(numLabels)
+		if i < numLabels {
+			label = i
+		}
+		cands := make([][]float64, 1)
+		base := make([]float64, dim)
+		for d := range base {
+			base[d] = float64(label) + rng.NormFloat64()
+		}
+		cands[0] = base
+		if rng.Float64() < 0.4 {
+			for j := 1; j < m; j++ {
+				c := make([]float64, dim)
+				for d := range c {
+					c[d] = base[d] + rng.NormFloat64()
+				}
+				cands = append(cands, c)
+			}
+		}
+		examples[i] = dataset.Example{Candidates: cands, Label: label}
+	}
+	return dataset.MustNew(examples, numLabels)
+}
+
+func benchServePoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = 2 * rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// benchServeBatch measures serve.BatchQuery throughput for one batch of
+// `batch` points per iteration. hot repeats the same batch (engine-cache
+// hits); cold cycles through distinct batches (cache misses, so the win
+// comes from Scratch pooling + worker parallelism alone).
+func benchServeBatch(b *testing.B, batch int, hot bool) {
+	d := benchServeData(500, 3, 2, 4, 42)
+	s := serve.NewServer(serve.Config{})
+	if _, err := s.Register("bench", d, knn.NegEuclidean{}, 3); err != nil {
+		b.Fatal(err)
+	}
+	const distinct = 64
+	batches := make([][][]float64, distinct)
+	for i := range batches {
+		batches[i] = benchServePoints(batch, 4, int64(100+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts := batches[0]
+		if !hot {
+			pts = batches[i%distinct]
+		}
+		if _, err := s.BatchQuery("bench", serve.BatchRequest{Points: pts}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServeBatch16_PooledHot(b *testing.B)  { benchServeBatch(b, 16, true) }
+func BenchmarkServeBatch16_PooledCold(b *testing.B) { benchServeBatch(b, 16, false) }
+func BenchmarkServeBatch64_PooledCold(b *testing.B) { benchServeBatch(b, 64, false) }
+
+// Baseline: the pre-serving path — one engine + one Scratch constructed and
+// thrown away per query, sequentially.
+func benchServeNaive(b *testing.B, batch int) {
+	d := benchServeData(500, 3, 2, 4, 42)
+	points := benchServePoints(batch, 4, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range points {
+			e := core.NewEngine(d, knn.NegEuclidean{}, t)
+			sc := e.MustScratch(3)
+			e.Counts(sc, -1, -1)
+			if _, err := e.CheckMM(3, -1, -1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkServeBatch16_NaivePerQuery(b *testing.B) { benchServeNaive(b, 16) }
+func BenchmarkServeBatch64_NaivePerQuery(b *testing.B) { benchServeNaive(b, 64) }
+
+// Scratch construction vs pooled reuse — the allocation the ScratchPool
+// amortizes (segment trees dominate: O(N·K) floats per label).
+func BenchmarkScratch_Fresh_N1000(b *testing.B) {
+	inst := benchInstance(1000, 5, 2)
+	e := core.NewEngineFromInstance(inst)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MustScratch(3)
+	}
+}
+
+func BenchmarkScratch_Pooled_N1000(b *testing.B) {
+	inst := benchInstance(1000, 5, 2)
+	e := core.NewEngineFromInstance(inst)
+	pool, err := core.NewScratchPool(e, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool.Put(pool.Get())
+	}
+}
+
 // --- CPClean ablations --------------------------------------------------------
 
 func benchCPClean(b *testing.B, opts cleaning.Options) {
@@ -205,23 +329,23 @@ func benchCPClean(b *testing.B, opts cleaning.Options) {
 }
 
 func BenchmarkCPClean_Supreme(b *testing.B) {
-	benchCPClean(b, cleaning.Options{SkipCertain: true})
+	benchCPClean(b, cleaning.DefaultOptions())
 }
 
 // Ablation: without the CP'ed-points-stay-CP'ed lemma (§4), every validation
 // point is re-queried for every hypothesis.
 func BenchmarkAblation_CPClean_NoSkipCertain(b *testing.B) {
-	benchCPClean(b, cleaning.Options{SkipCertain: false})
+	benchCPClean(b, cleaning.Options{DisableSkipCertain: true})
 }
 
 // Ablation: Q2 via the multi-class winner-cap DP instead of tally
 // enumeration (identical answers for |Y|=2; different constants).
 func BenchmarkAblation_CPClean_MC(b *testing.B) {
-	benchCPClean(b, cleaning.Options{SkipCertain: true, UseMC: true})
+	benchCPClean(b, cleaning.Options{UseMC: true})
 }
 
 // Ablation: batch cleaning (top-3 rows per hypothesis sweep) vs the paper's
 // one-row-per-sweep Algorithm 3.
 func BenchmarkAblation_CPClean_Batch3(b *testing.B) {
-	benchCPClean(b, cleaning.Options{SkipCertain: true, BatchSize: 3})
+	benchCPClean(b, cleaning.Options{BatchSize: 3})
 }

@@ -66,11 +66,9 @@ func main() {
 	}
 	fmt.Printf("ground-truth test accuracy: %.4f\ndefault-cleaning accuracy:  %.4f\n", gt, def)
 
-	opts := cleaning.Options{
-		MaxSteps:    *budget,
-		SkipCertain: true,
-		Rand:        rand.New(rand.NewSource(*seed)),
-	}
+	opts := cleaning.DefaultOptions()
+	opts.MaxSteps = *budget
+	opts.Rand = rand.New(rand.NewSource(*seed))
 	var res *cleaning.Result
 	if *random {
 		res, err = cleaning.RandomClean(task, opts)

@@ -1,0 +1,77 @@
+// Command cpserve runs the batch CP-query HTTP server.
+//
+// Usage:
+//
+//	cpserve -addr :8080 [-train dirty.csv -name mydata] [-k 3]
+//	        [-max-candidates 125] [-parallelism 0] [-engine-cache 256]
+//
+// Datasets are registered either at startup (-train: a CSV with missing
+// cells whose last column is the integer label, expanded into candidate
+// repairs with the paper's §5.1 protocol) or at runtime via the JSON API:
+//
+//	POST /v1/datasets              register {name, num_labels, examples, kernel, k}
+//	GET  /v1/datasets              list registered names
+//	GET  /v1/datasets/{name}       dataset info + engine/scratch pool stats
+//	POST /v1/datasets/{name}/query batch CP query {points, k?} → Q1/Q2/entropy per point
+//	POST /v1/datasets/{name}/clean CPClean session {truth, val_points, max_steps?};
+//	                               streams one NDJSON object per cleaning step
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/knn"
+	"repro/internal/repair"
+	"repro/internal/serve"
+	"repro/internal/table"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	trainPath := flag.String("train", "", "optional incomplete training CSV to register at startup")
+	name := flag.String("name", "default", "registration name for -train")
+	k := flag.Int("k", 3, "default K for -train")
+	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row (-train)")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
+	engineCache := flag.Int("engine-cache", 0, "per-dataset engine LRU size (0 = default, <0 = off)")
+	flag.Parse()
+
+	srv := serve.NewServer(serve.Config{Parallelism: *parallelism, EngineCacheSize: *engineCache})
+
+	if *trainPath != "" {
+		f, err := os.Open(*trainPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		train, err := table.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatalf("reading %s: %v", *trainPath, err)
+		}
+		enc := table.FitEncoder(train, 0)
+		reps, err := repair.Generate(train, nil, enc, repair.Options{MaxRowCandidates: *maxCands})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ds, err := srv.Register(*name, reps.Dataset, knn.NegEuclidean{}, *k)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		log.Printf("registered %q: %d rows (%d uncertain), %s possible worlds, fingerprint %.12s",
+			ds.Name(), ds.Data().N(), len(ds.Data().UncertainRows()), ds.Data().WorldCount(), ds.Fingerprint())
+	}
+
+	log.Printf("cpserve listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "cpserve: "+format+"\n", args...)
+	os.Exit(1)
+}

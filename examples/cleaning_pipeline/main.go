@@ -68,7 +68,7 @@ func main() {
 
 	// 4. CPClean: greedy minimum-entropy cleaning until all validation
 	// examples are certainly predicted.
-	cp, err := repro.CPClean(task, repro.CleanOptions{SkipCertain: true})
+	cp, err := repro.CPClean(task, repro.DefaultCleanOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -62,10 +62,11 @@ type Options struct {
 	// EvalTestEachStep computes StepInfo.TestAccuracy along the trajectory
 	// (needed for Figure 9 curves; costs one K-NN evaluation per step).
 	EvalTestEachStep bool
-	// SkipCertain exploits the paper's key lemma — a CP'ed validation
-	// example stays CP'ed under further cleaning, so its entropy is 0
-	// forever and it can be skipped. Disabled only by the ablation bench.
-	SkipCertain bool
+	// DisableSkipCertain turns OFF the paper's key lemma — a CP'ed
+	// validation example stays CP'ed under further cleaning, so its entropy
+	// is 0 forever and it can be skipped. The skip is on by default (zero
+	// value); only the ablation bench opts out of it.
+	DisableSkipCertain bool
 	// BatchSize cleans the top-B entropy-minimizing rows per selection round
 	// (1 = the paper's Algorithm 3). Larger batches trade selection quality
 	// for B× fewer hypothesis sweeps.
@@ -74,6 +75,15 @@ type Options struct {
 	UseMC bool
 	// Rand drives RandomClean's choices (ignored by CPClean).
 	Rand *rand.Rand
+}
+
+// DefaultOptions returns the recommended configuration: the certain-skip
+// lemma enabled, one row cleaned per hypothesis sweep (the paper's
+// Algorithm 3), and GOMAXPROCS worker parallelism. The zero Options value is
+// equivalent for correctness; this constructor exists as the documented
+// entry point.
+func DefaultOptions() Options {
+	return Options{BatchSize: 1}
 }
 
 func (o Options) withDefaults() Options {
@@ -88,10 +98,13 @@ type runState struct {
 	task    *Task
 	opts    Options
 	engines []*core.Engine // one per validation example
-	certain []bool
-	cleaned []bool
-	dirty   []int
-	choice  []int // current world: oracle candidate once cleaned, default before
+	// scratches pools query Scratches shared across all engines (identical
+	// shape: same dataset, same label order) and across selection rounds.
+	scratches *core.ScratchPool
+	certain   []bool
+	cleaned   []bool
+	dirty     []int
+	choice    []int // current world: oracle candidate once cleaned, default before
 }
 
 // newRunState builds per-validation-point engines and the initial certainty
@@ -136,6 +149,13 @@ func newRunState(t *Task, opts Options) (*runState, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if len(st.engines) > 0 {
+		pool, err := core.NewScratchPool(st.engines[0], t.K)
+		if err != nil {
+			return nil, err
+		}
+		st.scratches = pool
 	}
 	return st, nil
 }
@@ -328,7 +348,7 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 	// entropy under any hypothesis (unless the ablation disables the skip).
 	var valIdx []int
 	for v, c := range st.certain {
-		if !c || !st.opts.SkipCertain {
+		if !c || st.opts.DisableSkipCertain {
 			valIdx = append(valIdx, v)
 		}
 	}
@@ -336,10 +356,7 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 	curH := make([]float64, len(valIdx))
 	relevant := make([][]bool, len(valIdx))
 	{
-		sc, serr := st.engines[0].NewScratch(t.K)
-		if serr != nil {
-			return nil, nil, 0, serr
-		}
+		sc := st.scratches.Get()
 		for k, v := range valIdx {
 			e := st.engines[v]
 			relevant[k] = e.RelevantRows(t.K)
@@ -349,6 +366,7 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 				curH[k] = core.Entropy(e.Counts(sc, -1, -1))
 			}
 		}
+		st.scratches.Put(sc)
 	}
 	type rowScore struct {
 		row     int
@@ -358,12 +376,16 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 	scores := make([]rowScore, len(rows))
 	var wg sync.WaitGroup
 	work := make(chan int)
-	errCh := make(chan error, st.opts.Parallelism)
 	for w := 0; w < st.opts.Parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			var sc *core.Scratch
+			defer func() {
+				if sc != nil {
+					st.scratches.Put(sc)
+				}
+			}()
 			for ri := range work {
 				row := rows[ri]
 				m := t.Dataset().Examples[row].M()
@@ -379,12 +401,7 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 					}
 					e := st.engines[v]
 					if sc == nil {
-						s, serr := e.NewScratch(t.K)
-						if serr != nil {
-							errCh <- serr
-							return
-						}
-						sc = s
+						sc = st.scratches.Get()
 					}
 					if st.opts.UseMC {
 						// The multi-class path answers each pin separately.
@@ -415,11 +432,6 @@ func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntr
 	}
 	close(work)
 	wg.Wait()
-	select {
-	case werr := <-errCh:
-		return nil, nil, 0, werr
-	default:
-	}
 	for _, s := range scores {
 		examined += s.queries
 	}

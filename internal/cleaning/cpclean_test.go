@@ -74,7 +74,7 @@ func TestBaselinesRun(t *testing.T) {
 
 func TestCPCleanConvergesAndMatchesGroundTruthValAccuracy(t *testing.T) {
 	task := makeTask(t, 60, 15, 30, 0.12, 7)
-	res, err := CPClean(task, Options{SkipCertain: true})
+	res, err := CPClean(task, DefaultOptions())
 	if err != nil {
 		t.Fatalf("cpclean: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestRandomCleanRunsToBudget(t *testing.T) {
 
 func TestCPCleanBeatsRandomOnCertificationRate(t *testing.T) {
 	task := makeTask(t, 70, 20, 30, 0.15, 11)
-	cp, err := CPClean(task, Options{SkipCertain: true})
+	cp, err := CPClean(task, DefaultOptions())
 	if err != nil {
 		t.Fatalf("cpclean: %v", err)
 	}
@@ -220,7 +220,7 @@ func TestTableHasMissingAfterInjection(t *testing.T) {
 // plus the two extreme corners.
 func TestCertificationSoundness(t *testing.T) {
 	task := makeTask(t, 50, 12, 30, 0.2, 301)
-	res, err := CPClean(task, Options{SkipCertain: true})
+	res, err := CPClean(task, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func sampleChoice(d *dataset.Incomplete, rng *rand.Rand) []int {
 // a row twice.
 func TestCPCleanBatchMode(t *testing.T) {
 	task := makeTask(t, 50, 12, 30, 0.2, 303)
-	res, err := CPClean(task, Options{SkipCertain: true, BatchSize: 3})
+	res, err := CPClean(task, Options{BatchSize: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -132,37 +132,64 @@ type Scratch struct {
 	hyp      [][]float64
 }
 
+// scratchShape is the structural signature a Scratch is sized by: the
+// per-label row counts. It carries no reference to any engine, so pools can
+// hold it without retaining the engine they were seeded from.
+type scratchShape struct {
+	labelLen []int
+}
+
+// shape copies the engine's scratch shape.
+func (e *Engine) shape() scratchShape {
+	return scratchShape{labelLen: append([]int(nil), e.labelLen...)}
+}
+
+// n returns the total row count.
+func (sh scratchShape) n() int {
+	t := 0
+	for _, l := range sh.labelLen {
+		t += l
+	}
+	return t
+}
+
+// newScratchFromShape allocates query state for the given shape and K.
+func newScratchFromShape(sh scratchShape, k int) *Scratch {
+	numLabels := len(sh.labelLen)
+	sc := &Scratch{
+		k:      k,
+		alpha:  make([]int32, sh.n()),
+		counts: make([]float64, numLabels),
+		dpA:    make([]float64, k+1),
+		dpB:    make([]float64, k+1),
+	}
+	for l := 0; l < numLabels; l++ {
+		sc.trees = append(sc.trees, segtree.New(sh.labelLen[l], k))
+		sc.altTrees = append(sc.altTrees, segtree.New(sh.labelLen[l], k))
+		sc.leafP0 = append(sc.leafP0, make([]float64, sh.labelLen[l]))
+		sc.leafP1 = append(sc.leafP1, make([]float64, sh.labelLen[l]))
+	}
+	sc.rootsNormal = make([][]float64, numLabels)
+	sc.rootsPre = make([][]float64, numLabels)
+	for l := 0; l < numLabels; l++ {
+		sc.rootsNormal[l] = sc.trees[l].Root()
+	}
+	sc.cumPre = make([]float64, numLabels)
+	sc.cumPost = make([]float64, numLabels)
+	sc.tallies = compositions(k, numLabels)
+	sc.winners = make([]int, len(sc.tallies))
+	for ti, g := range sc.tallies {
+		sc.winners[ti] = argmaxTally(g)
+	}
+	return sc
+}
+
 // NewScratch allocates query state for queries with the given K.
 func (e *Engine) NewScratch(k int) (*Scratch, error) {
 	if err := validateK(e.inst, k); err != nil {
 		return nil, err
 	}
-	sc := &Scratch{
-		k:      k,
-		alpha:  make([]int32, e.N()),
-		counts: make([]float64, e.numLabels),
-		dpA:    make([]float64, k+1),
-		dpB:    make([]float64, k+1),
-	}
-	for l := 0; l < e.numLabels; l++ {
-		sc.trees = append(sc.trees, segtree.New(e.labelLen[l], k))
-		sc.altTrees = append(sc.altTrees, segtree.New(e.labelLen[l], k))
-		sc.leafP0 = append(sc.leafP0, make([]float64, e.labelLen[l]))
-		sc.leafP1 = append(sc.leafP1, make([]float64, e.labelLen[l]))
-	}
-	sc.rootsNormal = make([][]float64, e.numLabels)
-	sc.rootsPre = make([][]float64, e.numLabels)
-	for l := 0; l < e.numLabels; l++ {
-		sc.rootsNormal[l] = sc.trees[l].Root()
-	}
-	sc.cumPre = make([]float64, e.numLabels)
-	sc.cumPost = make([]float64, e.numLabels)
-	sc.tallies = compositions(k, e.numLabels)
-	sc.winners = make([]int, len(sc.tallies))
-	for ti, g := range sc.tallies {
-		sc.winners[ti] = argmaxTally(g)
-	}
-	return sc, nil
+	return newScratchFromShape(e.shape(), k), nil
 }
 
 // MustScratch is NewScratch but panics on error.

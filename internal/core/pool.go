@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ShapeKey returns a canonical string identifying the engine's *scratch
+// shape*: the per-label row counts (in label order) that size a Scratch's
+// segment trees and buffers. Two engines with equal shape keys can share
+// Scratches of the same K — the property CPClean exploits across
+// validation-point engines and the serving layer exploits across pooled
+// engines of one dataset.
+func (e *Engine) ShapeKey() string {
+	var b strings.Builder
+	for l, n := range e.labelLen {
+		if l > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
+
+// K returns the K the scratch was allocated for.
+func (sc *Scratch) K() int { return sc.k }
+
+// CompatibleWith reports whether sc (allocated for some engine with the
+// given K) can serve queries against e: same K and same per-label tree
+// sizes. Note rows must also appear in the same label order for answers to
+// be meaningful, which holds whenever both engines view the same dataset.
+func (sc *Scratch) CompatibleWith(e *Engine, k int) bool {
+	if sc.k != k || len(sc.trees) != e.numLabels {
+		return false
+	}
+	for l, tr := range sc.trees {
+		if tr.Len() != e.labelLen[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResetPins clears every persistent pin, returning the engine to the fully
+// uncertain state. Like SetPin, not safe to call concurrently with queries.
+func (e *Engine) ResetPins() {
+	for i := range e.pins {
+		e.pins[i] = -1
+	}
+}
+
+// ScratchPool is a concurrency-safe free list of Scratches for one
+// (engine shape, K) pair. It amortizes Scratch allocation — the segment
+// trees dominate and cost O(N·K) memory — across queries, goroutines, and
+// engines of identical shape.
+type ScratchPool struct {
+	k        int
+	shapeKey string
+	pool     sync.Pool
+	// allocs counts Scratches built fresh; gets counts Get calls. The
+	// difference is the number of reuses (modulo GC-evicted pool entries).
+	allocs atomic.Int64
+	gets   atomic.Int64
+}
+
+// NewScratchPool builds a pool producing Scratches for engines shaped like
+// template, queried with the given K. K is validated once here; Get never
+// fails afterwards. Only the shape is captured — the pool does not retain
+// the template engine.
+func NewScratchPool(template *Engine, k int) (*ScratchPool, error) {
+	if err := validateK(template.inst, k); err != nil {
+		return nil, err
+	}
+	sh := template.shape()
+	p := &ScratchPool{k: k, shapeKey: template.ShapeKey()}
+	p.pool.New = func() interface{} {
+		p.allocs.Add(1)
+		return newScratchFromShape(sh, k)
+	}
+	return p, nil
+}
+
+// K returns the K the pool's Scratches are allocated for.
+func (p *ScratchPool) K() int { return p.k }
+
+// Get returns a Scratch for exclusive use by the calling goroutine. Release
+// it with Put when the query results derived from it are no longer needed
+// (Counts et al. return slices aliasing the Scratch).
+func (p *ScratchPool) Get() *Scratch {
+	p.gets.Add(1)
+	return p.pool.Get().(*Scratch)
+}
+
+// Put returns a Scratch to the pool. The Scratch must have been produced by
+// a pool of the same shape and K; mismatched Scratches panic rather than
+// silently corrupt later queries.
+func (p *ScratchPool) Put(sc *Scratch) {
+	if sc == nil {
+		return
+	}
+	if sc.k != p.k {
+		panic(fmt.Sprintf("core: returning K=%d scratch to K=%d pool", sc.k, p.k))
+	}
+	p.pool.Put(sc)
+}
+
+// Stats reports lifetime Get calls and fresh allocations; gets − allocs
+// Scratch constructions were avoided by reuse.
+func (p *ScratchPool) Stats() (gets, allocs int64) {
+	return p.gets.Load(), p.allocs.Load()
+}

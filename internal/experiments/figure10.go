@@ -47,7 +47,7 @@ func RunFigure10Dataset(spec DatasetSpec, scale Scale, seed int64) ([]Figure10Po
 		if err != nil {
 			return nil, err
 		}
-		cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true})
+		cp, err := cleaning.CPClean(task, cleaning.DefaultOptions())
 		if err != nil {
 			return nil, err
 		}

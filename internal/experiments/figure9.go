@@ -51,7 +51,7 @@ func RunFigure9Dataset(spec DatasetSpec, scale Scale, seed int64) (*Figure9Resul
 		return nil, fmt.Errorf("figure9 %s: no dirty rows", spec.Name)
 	}
 
-	cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true, EvalTestEachStep: true})
+	cp, err := cleaning.CPClean(task, cleaning.Options{EvalTestEachStep: true})
 	if err != nil {
 		return nil, err
 	}

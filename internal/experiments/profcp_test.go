@@ -14,7 +14,7 @@ func TestProfileCPCleanOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	start := time.Now()
-	res, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true, EvalTestEachStep: true})
+	res, err := cleaning.CPClean(task, cleaning.Options{EvalTestEachStep: true})
 	if err != nil {
 		t.Fatal(err)
 	}

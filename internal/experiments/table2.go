@@ -126,7 +126,7 @@ func runTable2Once(spec DatasetSpec, scale Scale, seed int64) (*table2Raw, error
 	}
 	raw.holo = hc.Accuracy
 
-	cp, err := cleaning.CPClean(task, cleaning.Options{SkipCertain: true, EvalTestEachStep: true})
+	cp, err := cleaning.CPClean(task, cleaning.Options{EvalTestEachStep: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// BatchRequest asks for CP answers for many test points in one call.
+type BatchRequest struct {
+	// Points holds the encoded test points.
+	Points [][]float64
+	// K overrides the dataset default when > 0.
+	K int
+	// UseMC answers Q2 with the multi-class winner-cap DP (appendix A.3)
+	// instead of tally enumeration — preferable for large label alphabets.
+	UseMC bool
+}
+
+// PointResult is the CP answer for one test point.
+type PointResult struct {
+	// Prediction is the most supported label (smallest-label tie-break).
+	Prediction int `json:"prediction"`
+	// Certain reports Q1: every possible world predicts Prediction.
+	Certain bool `json:"certain"`
+	// Entropy is the Shannon entropy (nats) of the Q2 distribution.
+	Entropy float64 `json:"entropy"`
+	// Fractions is the normalized Q2 answer per label.
+	Fractions []float64 `json:"fractions"`
+}
+
+// BatchResult summarizes one batch.
+type BatchResult struct {
+	K int `json:"k"`
+	// Results is parallel to the request's Points.
+	Results []PointResult `json:"results"`
+	// CertainFraction is the fraction of CP'ed points in the batch.
+	CertainFraction float64 `json:"certain_fraction"`
+}
+
+// BatchQuery answers Q1/Q2/entropy for every point of the request against
+// the named dataset, fanning the points out across the server's worker
+// budget. Engines come from the per-dataset LRU, Scratches from the shared
+// free list.
+func (s *Server) BatchQuery(name string, req BatchRequest) (*BatchResult, error) {
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	return ds.BatchQuery(req, s.cfg)
+}
+
+// BatchQuery is the dataset-level batch entry point.
+func (d *Dataset) BatchQuery(req BatchRequest, cfg Config) (*BatchResult, error) {
+	cfg = cfg.withDefaults()
+	k, err := d.resolveK(req.K)
+	if err != nil {
+		return nil, err
+	}
+	dim := d.dim()
+	for i, t := range req.Points {
+		if len(t) != dim {
+			return nil, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
+		}
+	}
+	pool := d.pool(k, cfg.EngineCacheSize)
+	res := &BatchResult{K: k, Results: make([]PointResult, len(req.Points))}
+	workers := cfg.Parallelism
+	if workers > len(req.Points) {
+		workers = len(req.Points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var sc *core.Scratch
+			var scratches *core.ScratchPool
+			defer func() {
+				if sc != nil {
+					scratches.Put(sc)
+				}
+			}()
+			for i := range work {
+				if errs[w] != nil {
+					continue // keep draining so senders never block
+				}
+				e := pool.engine(req.Points[i])
+				if sc == nil {
+					scratches = pool.scratchesFor(e)
+					sc = scratches.Get()
+				}
+				r, qerr := queryEngine(e, sc, k, req.UseMC)
+				if qerr != nil {
+					errs[w] = qerr
+					continue
+				}
+				res.Results[i] = r
+			}
+		}(w)
+	}
+	for i := range req.Points {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	certain := 0
+	for _, r := range res.Results {
+		if r.Certain {
+			certain++
+		}
+	}
+	if len(res.Results) > 0 {
+		res.CertainFraction = float64(certain) / float64(len(res.Results))
+	}
+	return res, nil
+}
+
+// queryEngine answers both CP queries for one engine with the caller's
+// Scratch. The engine may be shared across goroutines (no pins are set).
+func queryEngine(e *core.Engine, sc *core.Scratch, k int, useMC bool) (PointResult, error) {
+	var counts []float64
+	if useMC {
+		counts = e.CountsMC(sc, -1, -1)
+	} else {
+		counts = e.Counts(sc, -1, -1)
+	}
+	fractions := append([]float64(nil), counts...)
+	r := PointResult{
+		Prediction: core.ArgmaxProb(fractions),
+		Entropy:    core.Entropy(fractions),
+		Fractions:  fractions,
+	}
+	if e.Instance().NumLabels == 2 {
+		// MM answers Q1 exactly (no float tolerance) for binary labels.
+		q1, err := e.CheckMM(k, -1, -1)
+		if err != nil {
+			return r, err
+		}
+		for _, b := range q1 {
+			r.Certain = r.Certain || b
+		}
+	} else {
+		r.Certain = core.IsCertain(fractions)
+	}
+	return r, nil
+}
+
+// dim returns the feature dimension of the dataset.
+func (d *Dataset) dim() int {
+	if d.data.N() == 0 {
+		return 0
+	}
+	return len(d.data.Examples[0].Candidates[0])
+}

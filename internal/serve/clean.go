@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CleanRequest starts a CPClean session over a registered dataset: the
+// caller supplies the oracle (the candidate each row would be cleaned to)
+// and the validation points whose predictions the session drives to
+// certainty.
+type CleanRequest struct {
+	// Truth[i] is the oracle candidate index of row i (consulted when the
+	// session cleans row i). len(Truth) must equal the dataset size.
+	Truth []int
+	// ValPoints are the encoded validation points.
+	ValPoints [][]float64
+	// K overrides the dataset default when > 0.
+	K int
+	// MaxSteps caps cleaned rows (0 = until every validation point is CP'ed
+	// or no uncertain rows remain).
+	MaxSteps int
+}
+
+// CleanStep reports one executed cleaning step.
+type CleanStep struct {
+	// Step is the 1-based count of cleaned rows.
+	Step int `json:"step"`
+	// Row is the row cleaned at this step; Candidate its oracle repair.
+	Row       int `json:"row"`
+	Candidate int `json:"candidate"`
+	// Entropy is the selected hypothesis's expected conditional entropy.
+	Entropy float64 `json:"entropy"`
+	// CertainFraction is the fraction of CP'ed validation points after the
+	// step; WorldsRemaining the possible worlds still live under the pins.
+	CertainFraction float64 `json:"certain_fraction"`
+	WorldsRemaining string  `json:"worlds_remaining"`
+}
+
+// CleanSession is an in-progress CPClean run (Algorithm 3) whose steps the
+// caller pulls one at a time — the serving layer streams them out as they
+// complete. Sessions own private (pinnable) engines but draw Scratches from
+// the dataset's shared pool. A session must be driven from one goroutine.
+type CleanSession struct {
+	ds        *Dataset
+	cfg       Config
+	k         int
+	truth     []int
+	maxSteps  int
+	engines   []*core.Engine
+	scratches *core.ScratchPool
+	certain   []bool
+	cleaned   []bool
+	steps     int
+}
+
+// NewCleanSession validates the request and builds the per-validation-point
+// engines (in parallel) plus the initial certainty mask.
+func (s *Server) NewCleanSession(name string, req CleanRequest) (*CleanSession, error) {
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return nil, err
+	}
+	k, err := ds.resolveK(req.K)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.ValPoints) == 0 {
+		return nil, fmt.Errorf("serve: clean session needs validation points")
+	}
+	d := ds.data
+	if len(req.Truth) != d.N() {
+		return nil, fmt.Errorf("serve: truth has %d entries, dataset %d rows", len(req.Truth), d.N())
+	}
+	for i, j := range req.Truth {
+		if j < 0 || j >= d.Examples[i].M() {
+			return nil, fmt.Errorf("serve: truth candidate %d out of range for row %d (M=%d)", j, i, d.Examples[i].M())
+		}
+	}
+	dim := ds.dim()
+	for i, t := range req.ValPoints {
+		if len(t) != dim {
+			return nil, fmt.Errorf("serve: val point %d has dim %d, dataset expects %d", i, len(t), dim)
+		}
+	}
+	cfg := s.cfg
+	c := &CleanSession{
+		ds:       ds,
+		cfg:      cfg,
+		k:        k,
+		truth:    append([]int(nil), req.Truth...),
+		maxSteps: req.MaxSteps,
+		engines:  make([]*core.Engine, len(req.ValPoints)),
+		certain:  make([]bool, len(req.ValPoints)),
+		cleaned:  make([]bool, d.N()),
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Parallelism)
+	for v := range req.ValPoints {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(v int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			c.engines[v] = core.NewEngine(d, ds.kernel, req.ValPoints[v])
+		}(v)
+	}
+	wg.Wait()
+	c.scratches = ds.pool(k, cfg.EngineCacheSize).scratchesFor(c.engines[0])
+	if err := c.refreshCertainty(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// isCertain answers Q1 for one session engine under its current pins: exact
+// MM for binary labels, Q2-threshold certainty otherwise.
+func (c *CleanSession) isCertain(e *core.Engine, sc *core.Scratch) (bool, error) {
+	if e.Instance().NumLabels == 2 {
+		return e.IsCertainMM(c.k)
+	}
+	return core.IsCertain(e.Counts(sc, -1, -1)), nil
+}
+
+// refreshCertainty re-checks every not-yet-certain validation point
+// (certain ones stay certain — the paper's monotonicity lemma).
+func (c *CleanSession) refreshCertainty() error {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Parallelism)
+	errs := make([]error, len(c.engines))
+	for v, e := range c.engines {
+		if c.certain[v] {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(v int, e *core.Engine) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			sc := c.scratches.Get()
+			defer c.scratches.Put(sc)
+			ok, err := c.isCertain(e, sc)
+			if err != nil {
+				errs[v] = err
+				return
+			}
+			c.certain[v] = ok
+		}(v, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CertainFraction returns the fraction of CP'ed validation points.
+func (c *CleanSession) CertainFraction() float64 {
+	n := 0
+	for _, ok := range c.certain {
+		if ok {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.certain))
+}
+
+// WorldsRemaining returns the possible-world count under the current pins.
+func (c *CleanSession) WorldsRemaining() *big.Int {
+	return c.engines[0].WorldCount()
+}
+
+// Steps returns the number of executed steps.
+func (c *CleanSession) Steps() int { return c.steps }
+
+// Done reports whether the session has nothing left to do: every validation
+// point CP'ed, every uncertain row cleaned, or the step budget exhausted.
+func (c *CleanSession) Done() bool {
+	if c.maxSteps > 0 && c.steps >= c.maxSteps {
+		return true
+	}
+	if c.CertainFraction() == 1 {
+		return true
+	}
+	return len(c.candidateRows()) == 0
+}
+
+// candidateRows lists uncleaned rows that are actually uncertain.
+func (c *CleanSession) candidateRows() []int {
+	var out []int
+	for i := range c.cleaned {
+		if !c.cleaned[i] && c.ds.data.Examples[i].M() > 1 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Step executes one greedy CPClean step — score every candidate row by
+// expected conditional entropy (Eq. 4, one combined HypothesisCounts scan
+// per relevant (row, validation point) pair), clean the minimizer, refresh
+// certainty — and reports it. ok is false when the session was already done.
+func (c *CleanSession) Step() (step CleanStep, ok bool, err error) {
+	if c.Done() {
+		return CleanStep{}, false, nil
+	}
+	rows := c.candidateRows()
+	// Uncertain validation points and their current entropies + relevance.
+	var valIdx []int
+	for v, cert := range c.certain {
+		if !cert {
+			valIdx = append(valIdx, v)
+		}
+	}
+	curH := make([]float64, len(valIdx))
+	relevant := make([][]bool, len(valIdx))
+	{
+		sc := c.scratches.Get()
+		for i, v := range valIdx {
+			e := c.engines[v]
+			relevant[i] = e.RelevantRows(c.k)
+			curH[i] = core.Entropy(e.Counts(sc, -1, -1))
+		}
+		c.scratches.Put(sc)
+	}
+	scores := make([]float64, len(rows))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	workers := c.cfg.Parallelism
+	if workers > len(rows) {
+		workers = len(rows)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc *core.Scratch
+			defer func() {
+				if sc != nil {
+					c.scratches.Put(sc)
+				}
+			}()
+			for ri := range work {
+				row := rows[ri]
+				m := c.ds.data.Examples[row].M()
+				total := 0.0
+				for i, v := range valIdx {
+					if !relevant[i][row] {
+						total += curH[i] * float64(m)
+						continue
+					}
+					if sc == nil {
+						sc = c.scratches.Get()
+					}
+					for _, p := range c.engines[v].HypothesisCounts(sc, row) {
+						total += core.Entropy(p)
+					}
+				}
+				scores[ri] = total / float64(m) / float64(len(c.certain))
+			}
+		}()
+	}
+	for ri := range rows {
+		work <- ri
+	}
+	close(work)
+	wg.Wait()
+	best := 0
+	for ri := range scores {
+		if scores[ri] < scores[best] {
+			best = ri
+		}
+	}
+	row := rows[best]
+	cand := c.truth[row]
+	c.cleaned[row] = true
+	for _, e := range c.engines {
+		e.SetPin(row, cand)
+	}
+	if err := c.refreshCertainty(); err != nil {
+		return CleanStep{}, false, err
+	}
+	c.steps++
+	return CleanStep{
+		Step:            c.steps,
+		Row:             row,
+		Candidate:       cand,
+		Entropy:         scores[best],
+		CertainFraction: c.CertainFraction(),
+		WorldsRemaining: c.WorldsRemaining().String(),
+	}, true, nil
+}
+
+// Order is a convenience that runs the session to completion and returns
+// the cleaned rows in order.
+func (c *CleanSession) Order() ([]int, error) {
+	var out []int
+	for {
+		step, ok, err := c.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, step.Row)
+	}
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// KernelSpec names a similarity kernel in the wire format.
+type KernelSpec struct {
+	// Name is one of neg-euclidean (default), neg-sq-euclidean,
+	// neg-manhattan, linear, cosine, rbf.
+	Name string `json:"name"`
+	// Gamma is the RBF bandwidth (rbf only; must be > 0).
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+// Kernel resolves the spec.
+func (ks KernelSpec) Kernel() (knn.Kernel, error) {
+	switch ks.Name {
+	case "", "neg-euclidean":
+		return knn.NegEuclidean{}, nil
+	case "neg-sq-euclidean":
+		return knn.NegSquaredEuclidean{}, nil
+	case "neg-manhattan":
+		return knn.NegManhattan{}, nil
+	case "linear":
+		return knn.Linear{}, nil
+	case "cosine":
+		return knn.Cosine{}, nil
+	case "rbf":
+		if ks.Gamma <= 0 {
+			return nil, fmt.Errorf("serve: rbf kernel needs gamma > 0")
+		}
+		return knn.RBF{Gamma: ks.Gamma}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown kernel %q", ks.Name)
+	}
+}
+
+// exampleJSON is one training example on the wire.
+type exampleJSON struct {
+	Candidates [][]float64 `json:"candidates"`
+	Label      int         `json:"label"`
+}
+
+// registerRequest is the POST /v1/datasets body.
+type registerRequest struct {
+	Name      string        `json:"name"`
+	NumLabels int           `json:"num_labels"`
+	Examples  []exampleJSON `json:"examples"`
+	Kernel    KernelSpec    `json:"kernel"`
+	K         int           `json:"k"`
+}
+
+// datasetInfo describes a registered dataset on the wire.
+type datasetInfo struct {
+	Name            string      `json:"name"`
+	Fingerprint     string      `json:"fingerprint"`
+	Rows            int         `json:"rows"`
+	UncertainRows   int         `json:"uncertain_rows"`
+	TotalCandidates int         `json:"total_candidates"`
+	Worlds          string      `json:"worlds"`
+	NumLabels       int         `json:"num_labels"`
+	Kernel          string      `json:"kernel"`
+	K               int         `json:"k"`
+	Pools           []PoolStats `json:"pools,omitempty"`
+}
+
+func infoFor(d *Dataset, withPools bool) datasetInfo {
+	info := datasetInfo{
+		Name:            d.Name(),
+		Fingerprint:     d.Fingerprint(),
+		Rows:            d.Data().N(),
+		UncertainRows:   len(d.Data().UncertainRows()),
+		TotalCandidates: d.Data().TotalCandidates(),
+		Worlds:          d.Data().WorldCount().String(),
+		NumLabels:       d.Data().NumLabels,
+		Kernel:          d.Kernel().Name(),
+		K:               d.K(),
+	}
+	if withPools {
+		info.Pools = d.Stats()
+	}
+	return info
+}
+
+// Handler returns the HTTP/JSON API over the server:
+//
+//	POST /v1/datasets              register a dataset
+//	GET  /v1/datasets              list registered names
+//	GET  /v1/datasets/{name}       dataset info + serving stats
+//	POST /v1/datasets/{name}/query batch CP query (BatchRequest → BatchResult)
+//	POST /v1/datasets/{name}/clean CPClean session; streams NDJSON CleanSteps
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		var req registerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		examples := make([]dataset.Example, len(req.Examples))
+		for i, ex := range req.Examples {
+			examples[i] = dataset.Example{Candidates: ex.Candidates, Label: ex.Label}
+		}
+		d, err := dataset.New(examples, req.NumLabels)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		kernel, err := req.Kernel.Kernel()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ds, err := s.Register(req.Name, d, kernel, req.K)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrConflict) {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, infoFor(ds, false))
+	})
+	mux.HandleFunc("GET /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]interface{}{"datasets": s.Names()})
+	})
+	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		ds, err := s.Dataset(r.PathValue("name"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, infoFor(ds, true))
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/query", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Points [][]float64 `json:"points"`
+			K      int         `json:"k"`
+			UseMC  bool        `json:"use_mc"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.BatchQuery(r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("POST /v1/datasets/{name}/clean", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Truth     []int       `json:"truth"`
+			ValPoints [][]float64 `json:"val_points"`
+			K         int         `json:"k"`
+			MaxSteps  int         `json:"max_steps"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		sess, err := s.NewCleanSession(r.PathValue("name"), CleanRequest{
+			Truth: req.Truth, ValPoints: req.ValPoints, K: req.K, MaxSteps: req.MaxSteps,
+		})
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		// Stream one NDJSON object per step, flushed as it completes, then a
+		// summary line.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for {
+			step, ok, err := sess.Step()
+			if err != nil {
+				enc.Encode(map[string]string{"error": err.Error()})
+				return
+			}
+			if !ok {
+				break
+			}
+			enc.Encode(step)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		enc.Encode(map[string]interface{}{
+			"done":             true,
+			"steps":            sess.Steps(),
+			"certain_fraction": sess.CertainFraction(),
+			"worlds_remaining": sess.WorldsRemaining().String(),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// enginePool owns the per-(dataset, K) serving state: a Scratch free list
+// (shape identical across every engine of the dataset) and an LRU of
+// constructed engines keyed by test point. Cached engines carry no pins and
+// are therefore safe for concurrent queries from many goroutines, each with
+// its own Scratch.
+type enginePool struct {
+	ds       *Dataset
+	k        int
+	capacity int
+
+	mu        sync.Mutex
+	lru       *list.List // front = most recently used *engineEntry
+	byKey     map[string]*list.Element
+	scratches *core.ScratchPool // created on first use; guarded by mu
+
+	builds atomic.Int64 // engines constructed
+	hits   atomic.Int64 // cache hits
+}
+
+type engineEntry struct {
+	key    string
+	engine *core.Engine
+}
+
+// pool returns (creating if needed) the engine pool for K.
+func (d *Dataset) pool(k, capacity int) *enginePool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.pools[k]
+	if !ok {
+		p = &enginePool{
+			ds:       d,
+			k:        k,
+			capacity: capacity,
+			lru:      list.New(),
+			byKey:    make(map[string]*list.Element),
+		}
+		d.pools[k] = p
+	}
+	return p
+}
+
+// pointKey encodes a test point as a cache key (exact bit pattern; NaNs and
+// signed zeros hash as distinct, which only costs a cache miss).
+func pointKey(t []float64) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}
+
+// engine returns a query engine for test point t, from cache when possible.
+// The returned engine may be shared with other goroutines; callers must not
+// pin it.
+func (p *enginePool) engine(t []float64) *core.Engine {
+	var key string
+	if p.capacity > 0 {
+		key = pointKey(t)
+		p.mu.Lock()
+		if el, ok := p.byKey[key]; ok {
+			p.lru.MoveToFront(el)
+			e := el.Value.(*engineEntry).engine
+			p.mu.Unlock()
+			p.hits.Add(1)
+			return e
+		}
+		p.mu.Unlock()
+	}
+	// Construction is the expensive part (similarities + candidate sort);
+	// keep it outside the lock. A concurrent miss on the same key builds a
+	// duplicate and the first insert wins — wasted work, not a bug.
+	e := core.NewEngine(p.ds.data, p.ds.kernel, t)
+	p.builds.Add(1)
+	if p.capacity > 0 {
+		p.mu.Lock()
+		if el, ok := p.byKey[key]; ok {
+			p.lru.MoveToFront(el)
+			e = el.Value.(*engineEntry).engine
+		} else {
+			p.byKey[key] = p.lru.PushFront(&engineEntry{key: key, engine: e})
+			for p.lru.Len() > p.capacity {
+				back := p.lru.Back()
+				delete(p.byKey, back.Value.(*engineEntry).key)
+				p.lru.Remove(back)
+			}
+		}
+		p.mu.Unlock()
+	}
+	return e
+}
+
+// scratchesFor returns the shared Scratch free list, creating it on first
+// use from template (any engine of the dataset has the right shape; the
+// pool captures only the shape, never the engine).
+func (p *enginePool) scratchesFor(template *core.Engine) *core.ScratchPool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.scratches == nil {
+		sp, err := core.NewScratchPool(template, p.k)
+		if err != nil {
+			// K was validated by resolveK before any pool use.
+			panic(err)
+		}
+		p.scratches = sp
+	}
+	return p.scratches
+}
+
+// PoolStats reports one (K, pool) pair's serving counters.
+type PoolStats struct {
+	K             int   `json:"k"`
+	EngineBuilds  int64 `json:"engine_builds"`
+	EngineHits    int64 `json:"engine_hits"`
+	EnginesCached int   `json:"engines_cached"`
+	ScratchGets   int64 `json:"scratch_gets"`
+	ScratchAllocs int64 `json:"scratch_allocs"`
+}
+
+// Stats snapshots every pool of the dataset, ordered by K.
+func (d *Dataset) Stats() []PoolStats {
+	d.mu.Lock()
+	pools := make([]*enginePool, 0, len(d.pools))
+	for _, p := range d.pools {
+		pools = append(pools, p)
+	}
+	d.mu.Unlock()
+	out := make([]PoolStats, 0, len(pools))
+	for _, p := range pools {
+		st := PoolStats{
+			K:            p.k,
+			EngineBuilds: p.builds.Load(),
+			EngineHits:   p.hits.Load(),
+		}
+		p.mu.Lock()
+		st.EnginesCached = p.lru.Len()
+		scratches := p.scratches
+		p.mu.Unlock()
+		if scratches != nil {
+			st.ScratchGets, st.ScratchAllocs = scratches.Stats()
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}

@@ -1,0 +1,213 @@
+// Package serve is the concurrent batch CP-query serving layer: it owns
+// registered incomplete datasets and answers Q1/Q2/entropy queries for many
+// test points per request, amortizing the expensive per-test-point state
+// (engine construction, Scratch segment trees) across queries instead of
+// rebuilding it per call the way the one-shot core API does.
+//
+// Three pooling levers, in decreasing order of savings:
+//
+//   - Scratches (O(N·K) segment trees) are pooled per (dataset, K) via
+//     core.ScratchPool — every engine of one dataset has the same shape, so
+//     one free list serves every worker and every test point.
+//   - Engines (O(NM log NM) candidate sort) are cached per (dataset, K) in
+//     an LRU keyed by test point, so repeated queries for hot points skip
+//     construction entirely. Engines are immutable while serving batch
+//     queries (pins are only used by cleaning sessions, which own private
+//     engines), so one cached engine safely serves many goroutines, each
+//     with its own pooled Scratch.
+//   - Batch requests fan out across a bounded worker pool mirroring
+//     cleaning.Options.Parallelism.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// ErrConflict marks a registration rejected because the name is taken by a
+// dataset with a different fingerprint.
+var ErrConflict = errors.New("serve: conflict")
+
+// Config tunes the server.
+type Config struct {
+	// Parallelism bounds worker goroutines per batch request (0 = GOMAXPROCS).
+	Parallelism int
+	// EngineCacheSize is the per-(dataset, K) LRU capacity for test-point
+	// engines (0 = DefaultEngineCacheSize, negative = disable caching).
+	EngineCacheSize int
+}
+
+// DefaultEngineCacheSize is the engine LRU capacity used when
+// Config.EngineCacheSize is zero.
+const DefaultEngineCacheSize = 256
+
+func (c Config) withDefaults() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.EngineCacheSize == 0 {
+		c.EngineCacheSize = DefaultEngineCacheSize
+	}
+	if c.EngineCacheSize < 0 {
+		c.EngineCacheSize = 0
+	}
+	return c
+}
+
+// Server is a registry of datasets plus the query machinery over them. All
+// methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	datasets map[string]*Dataset
+}
+
+// NewServer builds an empty server.
+func NewServer(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), datasets: make(map[string]*Dataset)}
+}
+
+// Dataset is one registered incomplete dataset with its serving state.
+type Dataset struct {
+	name        string
+	fingerprint string
+	data        *dataset.Incomplete
+	kernel      knn.Kernel
+	k           int // default K for queries against this dataset
+
+	mu    sync.Mutex
+	pools map[int]*enginePool // by K
+}
+
+// Register adds an incomplete dataset under the given name. kernel defaults
+// to the paper's NegEuclidean, k to 3. Registering an identical dataset
+// (same fingerprint, kernel, K) under an existing name is idempotent;
+// conflicting re-registration is an error.
+func (s *Server) Register(name string, d *dataset.Incomplete, kernel knn.Kernel, k int) (*Dataset, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: dataset name required")
+	}
+	if kernel == nil {
+		kernel = knn.NegEuclidean{}
+	}
+	if k <= 0 {
+		k = 3
+	}
+	if k > d.N() {
+		return nil, fmt.Errorf("serve: K=%d out of range for N=%d", k, d.N())
+	}
+	ds := &Dataset{
+		name:        name,
+		fingerprint: Fingerprint(d, kernel, k),
+		data:        d,
+		kernel:      kernel,
+		k:           k,
+		pools:       make(map[int]*enginePool),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.datasets[name]; ok {
+		if old.fingerprint == ds.fingerprint {
+			return old, nil
+		}
+		return nil, fmt.Errorf("%w: dataset %q already registered with a different fingerprint", ErrConflict, name)
+	}
+	s.datasets[name] = ds
+	return ds, nil
+}
+
+// Dataset looks up a registered dataset by name.
+func (s *Server) Dataset(name string) (*Dataset, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ds, ok := s.datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown dataset %q", name)
+	}
+	return ds, nil
+}
+
+// Names lists registered dataset names in sorted order.
+func (s *Server) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Name returns the registration name.
+func (d *Dataset) Name() string { return d.name }
+
+// Fingerprint returns the dataset's content fingerprint.
+func (d *Dataset) Fingerprint() string { return d.fingerprint }
+
+// Data returns the underlying incomplete dataset. Treat it as immutable:
+// engines cached by the serving layer alias its candidate vectors.
+func (d *Dataset) Data() *dataset.Incomplete { return d.data }
+
+// Kernel returns the similarity kernel queries run under.
+func (d *Dataset) Kernel() knn.Kernel { return d.kernel }
+
+// K returns the default K.
+func (d *Dataset) K() int { return d.k }
+
+// resolveK applies the dataset default and validates the range.
+func (d *Dataset) resolveK(k int) (int, error) {
+	if k == 0 {
+		k = d.k
+	}
+	if k <= 0 || k > d.data.N() {
+		return 0, fmt.Errorf("serve: K=%d out of range for N=%d", k, d.data.N())
+	}
+	return k, nil
+}
+
+// Fingerprint hashes the dataset contents together with the kernel identity
+// and default K — the cache key property: equal fingerprints answer every CP
+// query identically.
+func Fingerprint(d *dataset.Incomplete, kernel knn.Kernel, k int) string {
+	h := sha256.New()
+	var buf [8]byte
+	writeInt := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeFloat := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	h.Write([]byte(kernel.Name()))
+	// Name() alone under-identifies parameterized kernels.
+	if rbf, ok := kernel.(knn.RBF); ok {
+		writeFloat(rbf.Gamma)
+	}
+	writeInt(k)
+	writeInt(d.NumLabels)
+	writeInt(d.N())
+	for i := range d.Examples {
+		ex := &d.Examples[i]
+		writeInt(ex.Label)
+		writeInt(ex.M())
+		for _, c := range ex.Candidates {
+			writeInt(len(c))
+			for _, v := range c {
+				writeFloat(v)
+			}
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

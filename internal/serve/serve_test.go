@@ -1,0 +1,473 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/knn"
+)
+
+// randDataset builds a deterministic random incomplete dataset: label-
+// dependent cluster centers, uncertainFrac of rows with m jittered
+// candidates.
+func randDataset(t testing.TB, n, m, numLabels, dim int, uncertainFrac float64, seed int64) *dataset.Incomplete {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	examples := make([]dataset.Example, n)
+	for i := range examples {
+		label := rng.Intn(numLabels)
+		if i < numLabels {
+			label = i // every label present
+		}
+		base := make([]float64, dim)
+		for d := range base {
+			base[d] = float64(label) + rng.NormFloat64()
+		}
+		cands := [][]float64{base}
+		if rng.Float64() < uncertainFrac {
+			for j := 1; j < m; j++ {
+				c := make([]float64, dim)
+				for d := range c {
+					c[d] = base[d] + rng.NormFloat64()
+				}
+				cands = append(cands, c)
+			}
+		}
+		examples[i] = dataset.Example{Candidates: cands, Label: label}
+	}
+	return dataset.MustNew(examples, numLabels)
+}
+
+func randPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = 2 * rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestBatchQueryMatchesOneShot cross-checks every batch answer against the
+// one-shot core.QueryDataset path, binary and multi-class.
+func TestBatchQueryMatchesOneShot(t *testing.T) {
+	for _, numLabels := range []int{2, 3} {
+		t.Run(fmt.Sprintf("labels=%d", numLabels), func(t *testing.T) {
+			d := randDataset(t, 40, 3, numLabels, 2, 0.4, 7)
+			s := NewServer(Config{})
+			if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+				t.Fatal(err)
+			}
+			points := randPoints(20, 2, 11)
+			res, err := s.BatchQuery("d", BatchRequest{Points: points})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Results) != len(points) {
+				t.Fatalf("got %d results for %d points", len(res.Results), len(points))
+			}
+			for i, p := range points {
+				q1, q2, err := core.QueryDataset(d, knn.NegEuclidean{}, p, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := res.Results[i]
+				for y := range q2 {
+					if math.Abs(r.Fractions[y]-q2[y]) > 1e-9 {
+						t.Fatalf("point %d label %d: batch %v vs one-shot %v", i, y, r.Fractions, q2)
+					}
+				}
+				wantCertain := false
+				for _, b := range q1 {
+					wantCertain = wantCertain || b
+				}
+				if r.Certain != wantCertain {
+					t.Fatalf("point %d: batch certain=%v, one-shot %v", i, r.Certain, wantCertain)
+				}
+				if r.Prediction != core.ArgmaxProb(q2) {
+					t.Fatalf("point %d: batch prediction %d, one-shot %d", i, r.Prediction, core.ArgmaxProb(q2))
+				}
+			}
+		})
+	}
+}
+
+// TestBatchQueryMCMatchesSSDC checks the UseMC path agrees with tally
+// enumeration.
+func TestBatchQueryMCMatchesSSDC(t *testing.T) {
+	d := randDataset(t, 30, 3, 3, 2, 0.5, 3)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(10, 2, 5)
+	plain, err := s.BatchQuery("d", BatchRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := s.BatchQuery("d", BatchRequest{Points: points, UseMC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		for y := range plain.Results[i].Fractions {
+			if math.Abs(plain.Results[i].Fractions[y]-mc.Results[i].Fractions[y]) > 1e-9 {
+				t.Fatalf("point %d: ss-dc %v vs mc %v", i, plain.Results[i].Fractions, mc.Results[i].Fractions)
+			}
+		}
+	}
+}
+
+// TestConcurrentBatchesShareEngines hammers one dataset from many
+// goroutines with overlapping points, so cached engines are concurrently
+// shared while each worker holds its own pooled Scratch — the engine.go
+// concurrency claim, meant to run under -race.
+func TestConcurrentBatchesShareEngines(t *testing.T) {
+	d := randDataset(t, 60, 3, 2, 2, 0.4, 13)
+	s := NewServer(Config{Parallelism: 4})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(8, 2, 17) // few distinct points → guaranteed sharing
+	want, err := s.BatchQuery("d", BatchRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	// Poll stats while batches run: Stats must be safe against concurrent
+	// lazy scratch-pool creation.
+	stop := make(chan struct{})
+	ds0, _ := s.Dataset("d")
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ds0.Stats()
+			}
+		}
+	}()
+	defer close(stop)
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 5; iter++ {
+				res, err := s.BatchQuery("d", BatchRequest{Points: points})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				for i := range points {
+					for y, f := range res.Results[i].Fractions {
+						if f != want.Results[i].Fractions[y] {
+							errs[g] = fmt.Errorf("goroutine %d: point %d diverged", g, i)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds, _ := s.Dataset("d")
+	stats := ds.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("want 1 pool, got %d", len(stats))
+	}
+	if stats[0].EngineHits == 0 {
+		t.Fatal("expected engine cache hits across repeated batches")
+	}
+	if stats[0].ScratchAllocs >= stats[0].ScratchGets {
+		t.Fatalf("scratch pool never reused: %d allocs for %d gets", stats[0].ScratchAllocs, stats[0].ScratchGets)
+	}
+}
+
+// TestEngineCacheEviction bounds the LRU.
+func TestEngineCacheEviction(t *testing.T) {
+	d := randDataset(t, 20, 2, 2, 2, 0.3, 19)
+	s := NewServer(Config{EngineCacheSize: 2})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BatchQuery("d", BatchRequest{Points: randPoints(9, 2, 23)}); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := s.Dataset("d")
+	if got := ds.Stats()[0].EnginesCached; got > 2 {
+		t.Fatalf("LRU holds %d engines, capacity 2", got)
+	}
+}
+
+// TestRegisterConflicts covers idempotent and conflicting registration.
+func TestRegisterConflicts(t *testing.T) {
+	d := randDataset(t, 20, 2, 2, 2, 0.3, 29)
+	other := randDataset(t, 20, 2, 2, 2, 0.3, 31)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatalf("idempotent re-register failed: %v", err)
+	}
+	if _, err := s.Register("d", other, knn.NegEuclidean{}, 3); err == nil {
+		t.Fatal("conflicting re-register succeeded")
+	}
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 5); err == nil {
+		t.Fatal("re-register with different K succeeded (fingerprint should differ)")
+	}
+	if Fingerprint(d, knn.RBF{Gamma: 0.5}, 3) == Fingerprint(d, knn.RBF{Gamma: 2}, 3) {
+		t.Fatal("RBF gamma not part of the fingerprint")
+	}
+}
+
+// refExpectedEntropy recomputes one hypothesis score the slow way: fresh
+// per-candidate override queries, no pruning, no shared state.
+func refExpectedEntropy(engines []*core.Engine, certain []bool, d *dataset.Incomplete, row, k int) float64 {
+	m := d.Examples[row].M()
+	total := 0.0
+	for v, e := range engines {
+		if certain[v] {
+			continue
+		}
+		sc := e.MustScratch(k)
+		for j := 0; j < m; j++ {
+			total += core.Entropy(e.Counts(sc, row, j))
+		}
+	}
+	return total / float64(m) / float64(len(certain))
+}
+
+// TestCleanSessionMatchesGreedyReference verifies every step cleans a row
+// whose reference expected entropy is minimal, and that the session drives
+// the validation set to full certainty while worlds shrink monotonically.
+func TestCleanSessionMatchesGreedyReference(t *testing.T) {
+	d := randDataset(t, 24, 3, 2, 2, 0.5, 37)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	valPts := randPoints(8, 2, 41)
+	truth := make([]int, d.N())
+	rng := rand.New(rand.NewSource(43))
+	for i := range truth {
+		truth[i] = rng.Intn(d.Examples[i].M())
+	}
+	sess, err := s.NewCleanSession("d", CleanRequest{Truth: truth, ValPoints: valPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference engines mirror the session's pins.
+	refEngines := make([]*core.Engine, len(valPts))
+	for v, p := range valPts {
+		refEngines[v] = core.NewEngine(d, knn.NegEuclidean{}, p)
+	}
+	refCertain := make([]bool, len(valPts))
+	for v, e := range refEngines {
+		ok, err := e.IsCertainMM(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCertain[v] = ok
+	}
+	prevWorlds := sess.WorldsRemaining()
+	for steps := 0; ; steps++ {
+		if steps > d.N() {
+			t.Fatal("session did not terminate")
+		}
+		step, ok, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		// The cleaned row must be a reference argmin (within float noise).
+		cleanedScore := refExpectedEntropy(refEngines, refCertain, d, step.Row, 3)
+		for row := 0; row < d.N(); row++ {
+			if d.Examples[row].M() == 1 || refEngines[0].Pin(row) >= 0 || row == step.Row {
+				continue
+			}
+			if score := refExpectedEntropy(refEngines, refCertain, d, row, 3); score < cleanedScore-1e-9 {
+				t.Fatalf("step %d cleaned row %d (H=%.12f) but row %d scores %.12f",
+					step.Step, step.Row, cleanedScore, row, score)
+			}
+		}
+		if truth[step.Row] != step.Candidate {
+			t.Fatalf("step %d pinned candidate %d, oracle says %d", step.Step, step.Candidate, truth[step.Row])
+		}
+		for v, e := range refEngines {
+			e.SetPin(step.Row, step.Candidate)
+			if !refCertain[v] {
+				ok, err := e.IsCertainMM(3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refCertain[v] = ok
+			}
+		}
+		worlds := sess.WorldsRemaining()
+		if worlds.Cmp(prevWorlds) >= 0 {
+			t.Fatalf("step %d: worlds %s did not shrink from %s", step.Step, worlds, prevWorlds)
+		}
+		prevWorlds = worlds
+	}
+	if sess.CertainFraction() != 1 && len(sess.candidateRows()) > 0 {
+		t.Fatalf("session stopped at certain fraction %.3f with rows left", sess.CertainFraction())
+	}
+}
+
+// TestCleanSessionMaxSteps respects the budget.
+func TestCleanSessionMaxSteps(t *testing.T) {
+	d := randDataset(t, 24, 3, 2, 2, 0.6, 47)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := s.NewCleanSession("d", CleanRequest{
+		Truth:     make([]int, d.N()),
+		ValPoints: randPoints(6, 2, 53),
+		MaxSteps:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := sess.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) > 2 {
+		t.Fatalf("budget 2, cleaned %d rows", len(order))
+	}
+}
+
+// TestHTTPEndToEnd drives the JSON API: register, stats, batch query, and a
+// streamed clean session.
+func TestHTTPEndToEnd(t *testing.T) {
+	d := randDataset(t, 24, 3, 2, 2, 0.5, 59)
+	srv := httptest.NewServer(Handler(NewServer(Config{})))
+	defer srv.Close()
+
+	reg := map[string]interface{}{
+		"name":       "web",
+		"num_labels": 2,
+		"examples":   exampleJSONs(d),
+		"k":          3,
+	}
+	resp := postJSON(t, srv.URL+"/v1/datasets", reg)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	var info datasetInfo
+	decodeBody(t, resp, &info)
+	if info.Rows != d.N() || info.Fingerprint == "" {
+		t.Fatalf("bad register info: %+v", info)
+	}
+
+	points := randPoints(16, 2, 61)
+	resp = postJSON(t, srv.URL+"/v1/datasets/web/query", map[string]interface{}{"points": points})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	var batch BatchResult
+	decodeBody(t, resp, &batch)
+	if len(batch.Results) != 16 {
+		t.Fatalf("got %d results", len(batch.Results))
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/datasets/web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &info)
+	if len(info.Pools) == 0 || info.Pools[0].EngineBuilds == 0 {
+		t.Fatalf("stats missing pool counters: %+v", info)
+	}
+	if info.Worlds == "" || info.Worlds == "1" {
+		t.Fatalf("stats worlds = %q for an uncertain dataset", info.Worlds)
+	}
+
+	truth := make([]int, d.N())
+	resp = postJSON(t, srv.URL+"/v1/datasets/web/clean", map[string]interface{}{
+		"truth":      truth,
+		"val_points": randPoints(6, 2, 67),
+		"max_steps":  3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean status %d", resp.StatusCode)
+	}
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	var lines []map[string]interface{}
+	for scanner.Scan() {
+		var obj map[string]interface{}
+		if err := json.Unmarshal(scanner.Bytes(), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		lines = append(lines, obj)
+	}
+	if len(lines) == 0 {
+		t.Fatal("clean stream produced no lines")
+	}
+	last := lines[len(lines)-1]
+	if last["done"] != true {
+		t.Fatalf("final stream line not a summary: %v", last)
+	}
+	for _, obj := range lines[:len(lines)-1] {
+		if _, hasRow := obj["row"]; !hasRow {
+			t.Fatalf("step line missing row: %v", obj)
+		}
+	}
+}
+
+func exampleJSONs(d *dataset.Incomplete) []map[string]interface{} {
+	out := make([]map[string]interface{}, d.N())
+	for i := range d.Examples {
+		out[i] = map[string]interface{}{
+			"candidates": d.Examples[i].Candidates,
+			"label":      d.Examples[i].Label,
+		}
+	}
+	return out
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

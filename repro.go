@@ -182,6 +182,10 @@ func NewTask(dirty, truth, val, test *Table, k int, kernel Kernel, opts RepairOp
 	return cleaning.NewTask(dirty, truth, val, test, k, kernel, opts)
 }
 
+// DefaultCleanOptions returns the recommended CPClean configuration (the
+// certain-skip lemma on, one row per sweep).
+func DefaultCleanOptions() CleanOptions { return cleaning.DefaultOptions() }
+
 // CPClean runs the paper's Algorithm 3: greedy minimum-expected-entropy
 // cleaning until every validation example is certainly predicted.
 func CPClean(t *Task, opts CleanOptions) (*CleanResult, error) {
