@@ -12,10 +12,10 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-heavy packages: the serving layer (shared
-# engines + pooled scratches) and the cleaning loop (parallel hypothesis
-# sweeps).
+# engines + pooled scratches), the cleaning loop, and the shared selection
+# engine (parallel hypothesis sweeps over memoized per-point state).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/cleaning/...
+	$(GO) test -race ./internal/serve/... ./internal/cleaning/... ./internal/selection/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...

@@ -15,6 +15,15 @@
 //	POST /v1/datasets/{name}/query batch CP query {points, k?} → Q1/Q2/entropy per point
 //	POST /v1/datasets/{name}/clean CPClean session {truth, val_points, max_steps?};
 //	                               streams one NDJSON object per cleaning step
+//	                               (each with examined_hypotheses, the
+//	                               hypothesis Q2 scans the incremental
+//	                               selection engine actually performed),
+//	                               then a summary line; client disconnect
+//	                               aborts the session between steps
+//
+// Registering with k omitted or 0 defaults to min(3, N). Errors are JSON
+// {"error": ...} with status 400 (malformed request), 404 (unknown dataset
+// name), or 409 (name registered with a different fingerprint).
 package main
 
 import (

@@ -4,11 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/knn"
+	"repro/internal/selection"
 )
 
 // newClassifier trains K-NN on encoded features with the dirty table's
@@ -73,6 +73,12 @@ type Options struct {
 	BatchSize int
 	// UseMC answers Q2 with the multi-class SS-DC-MC variant.
 	UseMC bool
+	// DisableIncremental turns OFF the selection engine's cross-round
+	// hypothesis-entropy memo, rescoring every (row, validation point) pair
+	// from scratch each round. Selections are identical either way (see
+	// internal/selection); this exists as the ablation/benchmark baseline
+	// for the incremental reuse.
+	DisableIncremental bool
 	// Rand drives RandomClean's choices (ignored by CPClean).
 	Rand *rand.Rand
 }
@@ -101,10 +107,14 @@ type runState struct {
 	// scratches pools query Scratches shared across all engines (identical
 	// shape: same dataset, same label order) and across selection rounds.
 	scratches *core.ScratchPool
-	certain   []bool
-	cleaned   []bool
-	dirty     []int
-	choice    []int // current world: oracle candidate once cleaned, default before
+	// sel is the shared incremental entropy-selection engine. All pins route
+	// through it (even RandomClean's, which never scores) so its per-point
+	// memos stay coherent with the engines.
+	sel     *selection.Selector
+	certain []bool
+	cleaned []bool
+	dirty   []int
+	choice  []int // current world: oracle candidate once cleaned, default before
 }
 
 // newRunState builds per-validation-point engines and the initial certainty
@@ -156,6 +166,17 @@ func newRunState(t *Task, opts Options) (*runState, error) {
 			return nil, err
 		}
 		st.scratches = pool
+		sel, err := selection.New(st.engines, st.certain, pool, selection.Config{
+			K:                  t.K,
+			Parallelism:        st.opts.Parallelism,
+			UseMC:              st.opts.UseMC,
+			DisableSkipCertain: st.opts.DisableSkipCertain,
+			DisableCache:       st.opts.DisableIncremental,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.sel = sel
 	}
 	return st, nil
 }
@@ -198,8 +219,10 @@ func (st *runState) clean(row int) error {
 	truth := st.task.Repairs.Truth[row]
 	st.cleaned[row] = true
 	st.choice[row] = truth
-	for _, e := range st.engines {
-		e.SetPin(row, truth)
+	if st.sel != nil {
+		// The selector pins every engine and selectively invalidates its
+		// per-validation-point memos.
+		st.sel.Pin(row, truth)
 	}
 	// Refresh certainty of still-uncertain validation examples (certain ones
 	// stay certain — the paper's key observation).
@@ -275,6 +298,10 @@ func (st *runState) recordStep(res *Result, row int, entropy float64) error {
 // whose (uniform-prior) expected conditional entropy of the validation
 // predictions is minimal, computed from Q2 via the pinnable SS-DC engines,
 // and stops when every validation example is CP'ed (or the budget runs out).
+// Scoring goes through the shared incremental selection engine
+// (internal/selection), which memoizes per-(row, validation point)
+// hypothesis sums across rounds and rescans only the pairs each pin could
+// actually have changed.
 func CPClean(t *Task, opts Options) (*Result, error) {
 	st, err := newRunState(t, opts)
 	if err != nil {
@@ -302,10 +329,7 @@ func CPClean(t *Task, opts Options) (*Result, error) {
 		if batch <= 0 {
 			batch = 1
 		}
-		rows, entropies, examined, err := st.selectBatch(remaining, batch)
-		if err != nil {
-			return nil, err
-		}
+		rows, entropies, examined := st.sel.SelectBatch(remaining, batch)
 		res.ExaminedHypotheses += examined
 		for bi, row := range rows {
 			if opts.MaxSteps > 0 && len(res.Order) >= opts.MaxSteps {
@@ -327,129 +351,6 @@ func CPClean(t *Task, opts Options) (*Result, error) {
 		return nil, err
 	}
 	return res, nil
-}
-
-// selectBatch scores every uncleaned dirty row by expected conditional
-// entropy (Eq. 4) and returns the `batch` lowest-entropy rows in score
-// order. Two exact prunings keep this tractable:
-//
-//  1. CP'ed validation examples contribute zero entropy forever (the paper's
-//     key lemma) and are skipped;
-//  2. for each validation example, rows that can never enter its top-K in
-//     any world (Engine.RelevantRows) cannot change its Q2 distribution, so
-//     their hypothetical cleaning leaves its entropy at the cached current
-//     value — no query needed.
-//
-// Hypotheses are fanned out across workers; each worker owns one Scratch
-// shared across the engines (all engines have identical shape).
-func (st *runState) selectBatch(rows []int, batch int) (bestRows []int, bestEntropies []float64, examined int64, err error) {
-	t := st.task
-	// Uncertain validation examples only: certain ones contribute zero
-	// entropy under any hypothesis (unless the ablation disables the skip).
-	var valIdx []int
-	for v, c := range st.certain {
-		if !c || st.opts.DisableSkipCertain {
-			valIdx = append(valIdx, v)
-		}
-	}
-	// Current entropy and row-relevance mask per uncertain validation point.
-	curH := make([]float64, len(valIdx))
-	relevant := make([][]bool, len(valIdx))
-	{
-		sc := st.scratches.Get()
-		for k, v := range valIdx {
-			e := st.engines[v]
-			relevant[k] = e.RelevantRows(t.K)
-			if st.opts.UseMC {
-				curH[k] = core.Entropy(e.CountsMC(sc, -1, -1))
-			} else {
-				curH[k] = core.Entropy(e.Counts(sc, -1, -1))
-			}
-		}
-		st.scratches.Put(sc)
-	}
-	type rowScore struct {
-		row     int
-		entropy float64
-		queries int64
-	}
-	scores := make([]rowScore, len(rows))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < st.opts.Parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc *core.Scratch
-			defer func() {
-				if sc != nil {
-					st.scratches.Put(sc)
-				}
-			}()
-			for ri := range work {
-				row := rows[ri]
-				m := t.Dataset().Examples[row].M()
-				total := 0.0
-				var queries int64
-				for k, v := range valIdx {
-					if !relevant[k][row] {
-						// Cleaning this row cannot change this validation
-						// point's distribution: every candidate yields the
-						// current entropy.
-						total += curH[k] * float64(m)
-						continue
-					}
-					e := st.engines[v]
-					if sc == nil {
-						sc = st.scratches.Get()
-					}
-					if st.opts.UseMC {
-						// The multi-class path answers each pin separately.
-						for j := 0; j < m; j++ {
-							total += core.Entropy(e.CountsMC(sc, row, j))
-							queries++
-						}
-					} else {
-						// All M pins from one combined scan.
-						for _, p := range e.HypothesisCounts(sc, row) {
-							total += core.Entropy(p)
-						}
-						queries += int64(m)
-					}
-				}
-				// Uniform prior over the M candidates, averaged over the
-				// validation set (certain examples contribute zero).
-				scores[ri] = rowScore{
-					row:     row,
-					entropy: total / float64(m) / float64(len(st.certain)),
-					queries: queries,
-				}
-			}
-		}()
-	}
-	for ri := range rows {
-		work <- ri
-	}
-	close(work)
-	wg.Wait()
-	for _, s := range scores {
-		examined += s.queries
-	}
-	// Ascending entropy, ties toward the smaller row index (deterministic).
-	sort.Slice(scores, func(a, b int) bool {
-		if scores[a].entropy != scores[b].entropy {
-			return scores[a].entropy < scores[b].entropy
-		}
-		return scores[a].row < scores[b].row
-	})
-	if batch > len(scores) {
-		batch = len(scores)
-	}
-	for _, s := range scores[:batch] {
-		bestRows = append(bestRows, s.row)
-		bestEntropies = append(bestEntropies, s.entropy)
-	}
-	return bestRows, bestEntropies, examined, nil
 }
 
 // RandomClean cleans uniformly random dirty rows — the Figure 9 baseline.

@@ -13,7 +13,7 @@ import (
 
 // makeTask builds a small end-to-end cleaning task from the Supreme
 // generator with MNAR-injected missing values.
-func makeTask(t *testing.T, n, valN, testN int, rate float64, seed int64) *Task {
+func makeTask(t testing.TB, n, valN, testN int, rate float64, seed int64) *Task {
 	t.Helper()
 	full := synth.Supreme(n+valN+testN, seed)
 	rng := rand.New(rand.NewSource(seed + 1))
@@ -213,6 +213,30 @@ func TestTableHasMissingAfterInjection(t *testing.T) {
 	}
 }
 
+// benchSelection runs a full multi-round CPClean on the Figure-9-style
+// workload of TestCPCleanIncrementalMatchesFullRescore and reports the
+// hypothesis Q2 scans of the run. Comparing the Incremental and FullRescore
+// variants shows the ≥2× round-over-round scan reduction the shared
+// selection engine's memo buys (the wall-clock difference tracks it).
+func benchSelection(b *testing.B, opts Options) {
+	task := makeTask(b, 90, 20, 30, 0.3, 31)
+	b.ResetTimer()
+	var examined int64
+	for i := 0; i < b.N; i++ {
+		res, err := CPClean(task, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		examined = res.ExaminedHypotheses
+	}
+	b.ReportMetric(float64(examined), "hyp-scans/run")
+}
+
+func BenchmarkSelection_Incremental(b *testing.B) { benchSelection(b, DefaultOptions()) }
+func BenchmarkSelection_FullRescore(b *testing.B) {
+	benchSelection(b, Options{DisableIncremental: true})
+}
+
 // TestCertificationSoundness is the strongest end-to-end check of the whole
 // stack: after CPClean certifies every validation example, *every* possible
 // world of the partially-cleaned dataset must predict identically on every
@@ -269,6 +293,41 @@ func sampleChoice(d *dataset.Incomplete, rng *rand.Rand) []int {
 		choice[i] = rng.Intn(d.Examples[i].M())
 	}
 	return choice
+}
+
+// TestCPCleanIncrementalMatchesFullRescore pins down the acceptance property
+// of the shared selection engine: the memoized (incremental) selector and
+// full per-round rescoring produce the SAME cleaning order and per-step
+// entropies, while the memo performs at most half the hypothesis Q2 scans on
+// a Figure-9-style multi-round workload.
+func TestCPCleanIncrementalMatchesFullRescore(t *testing.T) {
+	task := makeTask(t, 90, 20, 30, 0.3, 31)
+	inc, err := CPClean(task, DefaultOptions())
+	if err != nil {
+		t.Fatalf("incremental: %v", err)
+	}
+	full, err := CPClean(task, Options{DisableIncremental: true})
+	if err != nil {
+		t.Fatalf("full rescore: %v", err)
+	}
+	if len(inc.Order) != len(full.Order) {
+		t.Fatalf("cleaning orders differ in length: %d vs %d", len(inc.Order), len(full.Order))
+	}
+	for i := range inc.Order {
+		if inc.Order[i] != full.Order[i] {
+			t.Fatalf("cleaning orders diverge at step %d: %v vs %v", i, inc.Order, full.Order)
+		}
+		if inc.Steps[i+1].Entropy != full.Steps[i+1].Entropy {
+			t.Fatalf("step %d entropy diverged: %v vs %v", i, inc.Steps[i+1].Entropy, full.Steps[i+1].Entropy)
+		}
+	}
+	if len(inc.Order) < 3 {
+		t.Fatalf("workload certified in %d steps — too few rounds to exercise the memo", len(inc.Order))
+	}
+	if inc.ExaminedHypotheses*2 > full.ExaminedHypotheses {
+		t.Fatalf("incremental selection examined %d hypotheses, full rescoring %d — want ≥2× reduction",
+			inc.ExaminedHypotheses, full.ExaminedHypotheses)
+	}
 }
 
 // TestCPCleanBatchMode checks BatchSize > 1 still certifies and never cleans

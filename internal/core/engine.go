@@ -29,6 +29,7 @@ type Engine struct {
 	numLabels int
 	order     []candRef // ascending similarity under the total order
 	pins      []int32   // pins[i] = candidate index row i is cleaned to, or -1
+	pinGen    uint64    // bumped on every pin mutation (SetPin, ResetPins)
 	labelOf   []int
 	rowPos    []int   // leaf index of each row inside its label's tree
 	labelLen  []int   // rows per label
@@ -76,10 +77,17 @@ func (e *Engine) SetPin(row, cand int) {
 		panic(fmt.Sprintf("core: pin candidate %d out of range for row %d (M=%d)", cand, row, e.inst.M(row)))
 	}
 	e.pins[row] = int32(cand)
+	e.pinGen++
 }
 
 // Pin returns the pinned candidate of row, or -1.
 func (e *Engine) Pin(row int) int { return int(e.pins[row]) }
+
+// PinGeneration returns a counter bumped by every pin mutation (SetPin,
+// ResetPins). Caches keyed on an engine's cleaning state — the incremental
+// selection memo above all — compare generations to detect that the engine
+// was pinned out from under them.
+func (e *Engine) PinGeneration() uint64 { return e.pinGen }
 
 // PinnedCount returns the number of pinned rows.
 func (e *Engine) PinnedCount() int {

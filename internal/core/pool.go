@@ -50,6 +50,7 @@ func (e *Engine) ResetPins() {
 	for i := range e.pins {
 		e.pins[i] = -1
 	}
+	e.pinGen++
 }
 
 // ScratchPool is a concurrency-safe free list of Scratches for one

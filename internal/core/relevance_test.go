@@ -133,6 +133,99 @@ func TestHypothesisCountsMatchesPerPinCounts(t *testing.T) {
 	}
 }
 
+// TestIrrelevantPinLeavesHypothesesUnchanged verifies the invalidation lemma
+// the incremental selection memo relies on: pinning a row that is irrelevant
+// to a test point changes neither the relevance mask nor ANY hypothesis Q2
+// distribution over that point (not just the unconditional Counts) — so
+// every cached per-(row, pin) entropy stays exact across the pin.
+func TestIrrelevantPinLeavesHypothesesUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	tested := 0
+	for trial := 0; trial < 60; trial++ {
+		inst := randomInstance(rng, 6+rng.Intn(10), 4, 2+rng.Intn(2))
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		sc := e.MustScratch(k)
+		// Some prior pins, as in the cleaning loop's steady state.
+		for i := 0; i < inst.N(); i++ {
+			if rng.Intn(4) == 0 {
+				e.SetPin(i, rng.Intn(inst.M(i)))
+			}
+		}
+		rel := e.RelevantRows(k)
+		var irrelevant []int
+		for i, r := range rel {
+			if !r && e.Pin(i) < 0 && inst.M(i) > 1 {
+				irrelevant = append(irrelevant, i)
+			}
+		}
+		if len(irrelevant) == 0 {
+			continue
+		}
+		tested++
+		// Snapshot every unpinned row's hypothesis distributions.
+		before := map[int][][]float64{}
+		for row := 0; row < inst.N(); row++ {
+			if e.Pin(row) >= 0 {
+				continue
+			}
+			hyp := e.HypothesisCounts(sc, row)
+			cp := make([][]float64, len(hyp))
+			for j := range hyp {
+				cp[j] = append([]float64(nil), hyp[j]...)
+			}
+			before[row] = cp
+		}
+		// Pin one irrelevant row to a random candidate.
+		pinRow := irrelevant[rng.Intn(len(irrelevant))]
+		e.SetPin(pinRow, rng.Intn(inst.M(pinRow)))
+		after := e.RelevantRows(k)
+		for i := range rel {
+			if rel[i] != after[i] {
+				t.Fatalf("trial %d: pinning irrelevant row %d flipped relevance of row %d", trial, pinRow, i)
+			}
+		}
+		for row, want := range before {
+			if row == pinRow {
+				continue
+			}
+			hyp := e.HypothesisCounts(sc, row)
+			for j := range hyp {
+				for y := range hyp[j] {
+					if hyp[j][y] != want[j][y] {
+						t.Fatalf("trial %d: pinning irrelevant row %d changed hypothesis (row=%d pin=%d label=%d): %v vs %v",
+							trial, pinRow, row, j, y, hyp[j][y], want[j][y])
+					}
+				}
+			}
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no trial produced an irrelevant uncertain row; weaken the generator")
+	}
+}
+
+// TestPinGenerationTracksMutations checks the staleness hook caches key on.
+func TestPinGenerationTracksMutations(t *testing.T) {
+	inst := MustNewInstance([][]float64{{1, 2}, {3}, {4, 5}}, []int{0, 1, 0}, 2)
+	e := NewEngineFromInstance(inst)
+	g0 := e.PinGeneration()
+	e.SetPin(0, 1)
+	if e.PinGeneration() == g0 {
+		t.Fatal("SetPin did not bump the pin generation")
+	}
+	g1 := e.PinGeneration()
+	e.SetPin(0, -1)
+	if e.PinGeneration() == g1 {
+		t.Fatal("clearing a pin did not bump the pin generation")
+	}
+	g2 := e.PinGeneration()
+	e.ResetPins()
+	if e.PinGeneration() == g2 {
+		t.Fatal("ResetPins did not bump the pin generation")
+	}
+}
+
 // TestHypothesisCountsWithTies exercises the combined scan under duplicated
 // similarities.
 func TestHypothesisCountsWithTies(t *testing.T) {

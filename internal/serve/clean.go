@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/selection"
 )
 
 // CleanRequest starts a CPClean session over a registered dataset: the
@@ -38,6 +39,11 @@ type CleanStep struct {
 	// step; WorldsRemaining the possible worlds still live under the pins.
 	CertainFraction float64 `json:"certain_fraction"`
 	WorldsRemaining string  `json:"worlds_remaining"`
+	// ExaminedHypotheses counts the hypothesis Q2 scans this step actually
+	// performed — after certain-skip, relevance pruning, and the selection
+	// engine's cross-round memo. Watching it fall round over round is the
+	// serving-visible signature of the incremental selector.
+	ExaminedHypotheses int64 `json:"examined_hypotheses"`
 }
 
 // CleanSession is an in-progress CPClean run (Algorithm 3) whose steps the
@@ -52,9 +58,11 @@ type CleanSession struct {
 	maxSteps  int
 	engines   []*core.Engine
 	scratches *core.ScratchPool
+	sel       *selection.Selector
 	certain   []bool
 	cleaned   []bool
 	steps     int
+	examined  int64
 }
 
 // NewCleanSession validates the request and builds the per-validation-point
@@ -113,6 +121,14 @@ func (s *Server) NewCleanSession(name string, req CleanRequest) (*CleanSession, 
 	if err := c.refreshCertainty(); err != nil {
 		return nil, err
 	}
+	sel, err := selection.New(c.engines, c.certain, c.scratches, selection.Config{
+		K:           k,
+		Parallelism: cfg.Parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.sel = sel
 	return c, nil
 }
 
@@ -178,6 +194,10 @@ func (c *CleanSession) WorldsRemaining() *big.Int {
 // Steps returns the number of executed steps.
 func (c *CleanSession) Steps() int { return c.steps }
 
+// ExaminedHypotheses returns the cumulative hypothesis Q2 scans across all
+// executed steps.
+func (c *CleanSession) ExaminedHypotheses() int64 { return c.examined }
+
 // Done reports whether the session has nothing left to do: every validation
 // point CP'ed, every uncertain row cleaned, or the step budget exhausted.
 func (c *CleanSession) Done() bool {
@@ -201,98 +221,35 @@ func (c *CleanSession) candidateRows() []int {
 	return out
 }
 
-// Step executes one greedy CPClean step — score every candidate row by
-// expected conditional entropy (Eq. 4, one combined HypothesisCounts scan
-// per relevant (row, validation point) pair), clean the minimizer, refresh
-// certainty — and reports it. ok is false when the session was already done.
+// Step executes one greedy CPClean step — the shared incremental selection
+// engine (internal/selection) scores every candidate row by expected
+// conditional entropy (Eq. 4), reusing memoized hypothesis sums from earlier
+// steps wherever the last pin provably left them unchanged — then the
+// minimizer is cleaned and certainty refreshed. ok is false when the session
+// was already done.
 func (c *CleanSession) Step() (step CleanStep, ok bool, err error) {
 	if c.Done() {
 		return CleanStep{}, false, nil
 	}
 	rows := c.candidateRows()
-	// Uncertain validation points and their current entropies + relevance.
-	var valIdx []int
-	for v, cert := range c.certain {
-		if !cert {
-			valIdx = append(valIdx, v)
-		}
-	}
-	curH := make([]float64, len(valIdx))
-	relevant := make([][]bool, len(valIdx))
-	{
-		sc := c.scratches.Get()
-		for i, v := range valIdx {
-			e := c.engines[v]
-			relevant[i] = e.RelevantRows(c.k)
-			curH[i] = core.Entropy(e.Counts(sc, -1, -1))
-		}
-		c.scratches.Put(sc)
-	}
-	scores := make([]float64, len(rows))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	workers := c.cfg.Parallelism
-	if workers > len(rows) {
-		workers = len(rows)
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var sc *core.Scratch
-			defer func() {
-				if sc != nil {
-					c.scratches.Put(sc)
-				}
-			}()
-			for ri := range work {
-				row := rows[ri]
-				m := c.ds.data.Examples[row].M()
-				total := 0.0
-				for i, v := range valIdx {
-					if !relevant[i][row] {
-						total += curH[i] * float64(m)
-						continue
-					}
-					if sc == nil {
-						sc = c.scratches.Get()
-					}
-					for _, p := range c.engines[v].HypothesisCounts(sc, row) {
-						total += core.Entropy(p)
-					}
-				}
-				scores[ri] = total / float64(m) / float64(len(c.certain))
-			}
-		}()
-	}
-	for ri := range rows {
-		work <- ri
-	}
-	close(work)
-	wg.Wait()
-	best := 0
-	for ri := range scores {
-		if scores[ri] < scores[best] {
-			best = ri
-		}
-	}
-	row := rows[best]
+	bestRows, bestEntropies, examined := c.sel.SelectBatch(rows, 1)
+	c.examined += examined
+	row := bestRows[0]
 	cand := c.truth[row]
 	c.cleaned[row] = true
-	for _, e := range c.engines {
-		e.SetPin(row, cand)
-	}
+	c.sel.Pin(row, cand)
 	if err := c.refreshCertainty(); err != nil {
 		return CleanStep{}, false, err
 	}
 	c.steps++
 	return CleanStep{
-		Step:            c.steps,
-		Row:             row,
-		Candidate:       cand,
-		Entropy:         scores[best],
-		CertainFraction: c.CertainFraction(),
-		WorldsRemaining: c.WorldsRemaining().String(),
+		Step:               c.steps,
+		Row:                row,
+		Candidate:          cand,
+		Entropy:            bestEntropies[0],
+		CertainFraction:    c.CertainFraction(),
+		WorldsRemaining:    c.WorldsRemaining().String(),
+		ExaminedHypotheses: examined,
 	}, true, nil
 }
 

@@ -120,11 +120,7 @@ func Handler(s *Server) http.Handler {
 		}
 		ds, err := s.Register(req.Name, d, kernel, req.K)
 		if err != nil {
-			code := http.StatusBadRequest
-			if errors.Is(err, ErrConflict) {
-				code = http.StatusConflict
-			}
-			httpError(w, code, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, infoFor(ds, false))
@@ -135,7 +131,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		ds, err := s.Dataset(r.PathValue("name"))
 		if err != nil {
-			httpError(w, http.StatusNotFound, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, infoFor(ds, true))
@@ -152,7 +148,7 @@ func Handler(s *Server) http.Handler {
 		}
 		res, err := s.BatchQuery(r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -172,7 +168,7 @@ func Handler(s *Server) http.Handler {
 			Truth: req.Truth, ValPoints: req.ValPoints, K: req.K, MaxSteps: req.MaxSteps,
 		})
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		// Stream one NDJSON object per step, flushed as it completes, then a
@@ -181,7 +177,15 @@ func Handler(s *Server) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
+		ctx := r.Context()
 		for {
+			// A cleaning step can be expensive; don't keep stepping a session
+			// whose client already disconnected.
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
 			step, ok, err := sess.Step()
 			if err != nil {
 				enc.Encode(map[string]string{"error": err.Error()})
@@ -196,10 +200,11 @@ func Handler(s *Server) http.Handler {
 			}
 		}
 		enc.Encode(map[string]interface{}{
-			"done":             true,
-			"steps":            sess.Steps(),
-			"certain_fraction": sess.CertainFraction(),
-			"worlds_remaining": sess.WorldsRemaining().String(),
+			"done":                true,
+			"steps":               sess.Steps(),
+			"certain_fraction":    sess.CertainFraction(),
+			"worlds_remaining":    sess.WorldsRemaining().String(),
+			"examined_hypotheses": sess.ExaminedHypotheses(),
 		})
 	})
 	return mux
@@ -213,4 +218,17 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps server errors to HTTP status codes: unknown dataset → 404,
+// conflicting registration → 409, anything else (validation) → 400.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }

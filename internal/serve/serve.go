@@ -37,6 +37,11 @@ import (
 // dataset with a different fingerprint.
 var ErrConflict = errors.New("serve: conflict")
 
+// ErrNotFound marks a lookup of an unregistered dataset name. The HTTP layer
+// maps it to 404 so callers can tell "no such dataset" apart from a bad
+// request.
+var ErrNotFound = errors.New("serve: unknown dataset")
+
 // Config tunes the server.
 type Config struct {
 	// Parallelism bounds worker goroutines per batch request (0 = GOMAXPROCS).
@@ -100,8 +105,17 @@ func (s *Server) Register(name string, d *dataset.Incomplete, kernel knn.Kernel,
 	if kernel == nil {
 		kernel = knn.NegEuclidean{}
 	}
+	if d.N() == 0 {
+		return nil, fmt.Errorf("serve: cannot register an empty dataset")
+	}
 	if k <= 0 {
+		// The default K must stay valid on tiny datasets: clamp to min(3, N)
+		// instead of failing with an out-of-range error the caller never
+		// asked for.
 		k = 3
+		if n := d.N(); k > n {
+			k = n
+		}
 	}
 	if k > d.N() {
 		return nil, fmt.Errorf("serve: K=%d out of range for N=%d", k, d.N())
@@ -132,7 +146,7 @@ func (s *Server) Dataset(name string) (*Dataset, error) {
 	defer s.mu.RUnlock()
 	ds, ok := s.datasets[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown dataset %q", name)
+		return nil, fmt.Errorf("%w %q", ErrNotFound, name)
 	}
 	return ds, nil
 }

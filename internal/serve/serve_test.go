@@ -3,14 +3,17 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -437,6 +440,250 @@ func TestHTTPEndToEnd(t *testing.T) {
 		if _, hasRow := obj["row"]; !hasRow {
 			t.Fatalf("step line missing row: %v", obj)
 		}
+	}
+}
+
+// TestUnknownDatasetStatusCodes pins the HTTP error contract: unknown
+// dataset → 404 on every per-dataset route, conflicting registration → 409,
+// malformed input → 400.
+func TestUnknownDatasetStatusCodes(t *testing.T) {
+	d := randDataset(t, 20, 2, 2, 2, 0.3, 71)
+	srv := httptest.NewServer(Handler(NewServer(Config{})))
+	defer srv.Close()
+
+	resp := postJSON(t, srv.URL+"/v1/datasets", map[string]interface{}{
+		"name": "d", "num_labels": 2, "examples": exampleJSONs(d), "k": 3,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/datasets/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/datasets/nope/query", map[string]interface{}{
+		"points": [][]float64{{0, 0}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("query unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+
+	resp = postJSON(t, srv.URL+"/v1/datasets/nope/clean", map[string]interface{}{
+		"truth": []int{0}, "val_points": [][]float64{{0, 0}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("clean unknown dataset: status %d, want 404", resp.StatusCode)
+	}
+
+	other := randDataset(t, 20, 2, 2, 2, 0.3, 73)
+	resp = postJSON(t, srv.URL+"/v1/datasets", map[string]interface{}{
+		"name": "d", "num_labels": 2, "examples": exampleJSONs(other), "k": 3,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting register: status %d, want 409", resp.StatusCode)
+	}
+
+	// Known dataset, bad payload (wrong dimension) stays a 400.
+	resp = postJSON(t, srv.URL+"/v1/datasets/d/query", map[string]interface{}{
+		"points": [][]float64{{0, 0, 0, 0, 0}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query payload: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestRegisterDefaultKClampedToN covers the k == 0 default on datasets with
+// fewer than 3 rows: the default clamps to N instead of erroring.
+func TestRegisterDefaultKClampedToN(t *testing.T) {
+	d := dataset.MustNew([]dataset.Example{
+		{Candidates: [][]float64{{0}, {1}}, Label: 0},
+		{Candidates: [][]float64{{2}}, Label: 1},
+	}, 2)
+	s := NewServer(Config{})
+	ds, err := s.Register("tiny", d, nil, 0)
+	if err != nil {
+		t.Fatalf("register with default K on N=2 dataset: %v", err)
+	}
+	if ds.K() != 2 {
+		t.Fatalf("default K = %d, want clamp to N = 2", ds.K())
+	}
+	if _, err := s.BatchQuery("tiny", BatchRequest{Points: [][]float64{{0.5}}}); err != nil {
+		t.Fatalf("query under clamped default K: %v", err)
+	}
+	// An explicit out-of-range K must still be rejected.
+	if _, err := s.Register("tiny5", d, nil, 5); err == nil {
+		t.Fatal("explicit K=5 on N=2 dataset accepted")
+	}
+	// Larger datasets keep the documented default of 3.
+	big := randDataset(t, 10, 2, 2, 2, 0.3, 83)
+	ds, err = s.Register("big", big, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.K() != 3 {
+		t.Fatalf("default K = %d on N=10 dataset, want 3", ds.K())
+	}
+}
+
+// blockingWriter is a ResponseWriter that signals its first body write and
+// then blocks until released — it freezes the NDJSON stream right after the
+// first step so the test can cancel the request at a known point.
+type blockingWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	first   chan struct{}
+	once    sync.Once
+	release chan struct{}
+}
+
+func (w *blockingWriter) Header() http.Header { return http.Header{} }
+func (w *blockingWriter) WriteHeader(int)     {}
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.once.Do(func() { close(w.first) })
+	<-w.release
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+func (w *blockingWriter) contents() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// TestCleanStreamStopsOnClientCancel checks the NDJSON handler aborts the
+// session between steps once the request context is canceled instead of
+// cleaning to completion for a client that is gone.
+func TestCleanStreamStopsOnClientCancel(t *testing.T) {
+	d := randDataset(t, 40, 3, 2, 2, 0.8, 89)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	valPts := randPoints(8, 2, 91)
+	truth := make([]int, d.N())
+	// Control: the same session run to completion takes several steps, so an
+	// uncanceled stream would emit several lines.
+	ctrl, err := s.NewCleanSession("d", CleanRequest{Truth: truth, ValPoints: valPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := ctrl.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) < 2 {
+		t.Fatalf("workload finishes in %d steps; too short to observe cancellation", len(order))
+	}
+
+	body, err := json.Marshal(map[string]interface{}{"truth": truth, "val_points": valPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("POST", "/v1/datasets/d/clean", bytes.NewReader(body)).WithContext(ctx)
+	w := &blockingWriter{first: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan struct{})
+	go func() {
+		Handler(s).ServeHTTP(w, req)
+		close(done)
+	}()
+	select {
+	case <-w.first:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stream never produced a first step")
+	}
+	// The handler is blocked inside the first step's Write. Cancel the
+	// request, then let the write finish: the next loop iteration must abort.
+	cancel()
+	close(w.release)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler kept running after client cancel")
+	}
+	out := w.contents()
+	lines := strings.Count(out, "\n")
+	if lines >= len(order) {
+		t.Fatalf("canceled stream wrote %d lines; full run is only %d steps", lines, len(order))
+	}
+	if strings.Contains(out, `"done"`) {
+		t.Fatalf("canceled stream still wrote the summary line: %q", out)
+	}
+}
+
+// TestCleanSessionReportsExaminedHypotheses checks the serving API exposes
+// the selection engine's scan counts: per-step counters sum to the session
+// total, scans happen, and the stream's summary carries the total.
+func TestCleanSessionReportsExaminedHypotheses(t *testing.T) {
+	d := randDataset(t, 30, 3, 2, 2, 0.6, 97)
+	s := NewServer(Config{})
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, d.N())
+	sess, err := s.NewCleanSession("d", CleanRequest{Truth: truth, ValPoints: randPoints(8, 2, 101)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	steps := 0
+	for {
+		step, ok, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if step.ExaminedHypotheses < 0 {
+			t.Fatalf("step %d: negative examined_hypotheses %d", step.Step, step.ExaminedHypotheses)
+		}
+		total += step.ExaminedHypotheses
+		steps++
+	}
+	if steps == 0 {
+		t.Fatal("session executed no steps")
+	}
+	if total == 0 {
+		t.Fatal("no hypothesis scans recorded across the whole session")
+	}
+	if got := sess.ExaminedHypotheses(); got != total {
+		t.Fatalf("session total %d != sum of per-step counters %d", got, total)
+	}
+
+	// The HTTP stream's summary line must carry the cumulative counter.
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	resp := postJSON(t, srv.URL+"/v1/datasets/d/clean", map[string]interface{}{
+		"truth": truth, "val_points": randPoints(8, 2, 103),
+	})
+	defer resp.Body.Close()
+	scanner := bufio.NewScanner(resp.Body)
+	var last map[string]interface{}
+	for scanner.Scan() {
+		last = nil
+		if err := json.Unmarshal(scanner.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+	}
+	if last["done"] != true {
+		t.Fatalf("missing summary line: %v", last)
+	}
+	if _, ok := last["examined_hypotheses"]; !ok {
+		t.Fatalf("summary line missing examined_hypotheses: %v", last)
 	}
 }
 
