@@ -8,14 +8,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on catches order-dependent tests (the session store keeps
+# cross-test state candidates: tombstones, reaper timing).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrency-heavy packages: the serving layer (shared
 # engines + pooled scratches), the cleaning loop, and the shared selection
 # engine (parallel hypothesis sweeps over memoized per-point state).
 race:
-	$(GO) test -race ./internal/serve/... ./internal/cleaning/... ./internal/selection/...
+	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...

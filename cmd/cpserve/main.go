@@ -4,34 +4,53 @@
 //
 //	cpserve -addr :8080 [-train dirty.csv -name mydata] [-k 3]
 //	        [-max-candidates 125] [-parallelism 0] [-engine-cache 256]
+//	        [-max-sessions 64] [-session-ttl 15m]
+//	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
 //
 // Datasets are registered either at startup (-train: a CSV with missing
 // cells whose last column is the integer label, expanded into candidate
 // repairs with the paper's §5.1 protocol) or at runtime via the JSON API:
 //
-//	POST /v1/datasets              register {name, num_labels, examples, kernel, k}
-//	GET  /v1/datasets              list registered names
-//	GET  /v1/datasets/{name}       dataset info + engine/scratch pool stats
-//	POST /v1/datasets/{name}/query batch CP query {points, k?} → Q1/Q2/entropy per point
-//	POST /v1/datasets/{name}/clean CPClean session {truth, val_points, max_steps?};
-//	                               streams one NDJSON object per cleaning step
-//	                               (each with examined_hypotheses, the
-//	                               hypothesis Q2 scans the incremental
-//	                               selection engine actually performed),
-//	                               then a summary line; client disconnect
-//	                               aborts the session between steps
+//	POST   /v1/datasets                 register {name, num_labels, examples, kernel, k}
+//	GET    /v1/datasets                 list registered names
+//	GET    /v1/datasets/{name}          dataset info + engine/scratch pool stats
+//	POST   /v1/datasets/{name}/query    batch CP query {points, k?} → Q1/Q2/entropy per point
+//	POST   /v1/datasets/{name}/clean    create a CPClean session {truth, val_points,
+//	                                    k?, max_steps?} → 201 with a session ID;
+//	                                    the run is decoupled from any connection
+//	GET    /v1/clean/{id}               session status (state, steps, certainty)
+//	POST   /v1/clean/{id}/next?steps=N  execute up to N cleaning steps and return
+//	                                    them — the resumable pull interface
+//	GET    /v1/clean/{id}/stream?from=K NDJSON: replay executed steps after K,
+//	                                    then stream live steps (each with
+//	                                    examined_hypotheses), then a summary
+//	                                    line; disconnecting detaches the client
+//	                                    but the session survives for resume
+//	DELETE /v1/clean/{id}               release the session
 //
 // Registering with k omitted or 0 defaults to min(3, N). Errors are JSON
-// {"error": ...} with status 400 (malformed request), 404 (unknown dataset
-// name), or 409 (name registered with a different fingerprint).
+// {"error": ...} with status 400 (malformed request, unknown JSON field,
+// trailing body data), 404 (unknown dataset or session), 409 (conflicting
+// registration, or a session that already has a driver attached), 410
+// (expired session), 413 (request body over the configured cap), or 429
+// (MaxCleanSessions live sessions already exist).
+//
+// The listener sets a read-header timeout (Slowloris protection) and shuts
+// down gracefully on SIGINT/SIGTERM: in-flight requests drain, then live
+// sessions are closed and their pooled resources released.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/knn"
 	"repro/internal/repair"
@@ -47,9 +66,20 @@ func main() {
 	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row (-train)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
 	engineCache := flag.Int("engine-cache", 0, "per-dataset engine LRU size (0 = default, <0 = off)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on live clean sessions (0 = default, <0 = unlimited)")
+	sessionTTL := flag.Duration("session-ttl", 0, "evict clean sessions idle this long (0 = default, <0 = never)")
+	maxRegisterBytes := flag.Int64("max-register-bytes", 0, "dataset registration body cap (0 = default, <0 = unlimited)")
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, "query/clean body cap (0 = default, <0 = unlimited)")
 	flag.Parse()
 
-	srv := serve.NewServer(serve.Config{Parallelism: *parallelism, EngineCacheSize: *engineCache})
+	srv := serve.NewServer(serve.Config{
+		Parallelism:      *parallelism,
+		EngineCacheSize:  *engineCache,
+		MaxCleanSessions: *maxSessions,
+		SessionTTL:       *sessionTTL,
+		MaxRegisterBytes: *maxRegisterBytes,
+		MaxQueryBytes:    *maxBodyBytes,
+	})
 
 	if *trainPath != "" {
 		f, err := os.Open(*trainPath)
@@ -74,10 +104,33 @@ func main() {
 			ds.Name(), ds.Data().N(), len(ds.Data().UncertainRows()), ds.Data().WorldCount(), ds.Fingerprint())
 	}
 
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.Handler(srv),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("cpserve shutting down: draining in-flight requests")
+		drainCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			log.Printf("cpserve: forced shutdown: %v", err)
+		}
+		srv.Close()
+	}()
+
 	log.Printf("cpserve listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, serve.Handler(srv)); err != nil {
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		fatalf("%v", err)
 	}
+	<-shutdownDone
+	log.Printf("cpserve stopped")
 }
 
 func fatalf(format string, args ...interface{}) {

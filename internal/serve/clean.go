@@ -63,6 +63,36 @@ type CleanSession struct {
 	cleaned   []bool
 	steps     int
 	examined  int64
+	closed    bool
+}
+
+// validateCleanRequest checks a CleanRequest against the dataset without
+// building any engine state, so session creation can reject bad input
+// immediately while deferring the expensive build to the first step.
+func validateCleanRequest(ds *Dataset, req CleanRequest) (k int, err error) {
+	k, err = ds.resolveK(req.K)
+	if err != nil {
+		return 0, err
+	}
+	if len(req.ValPoints) == 0 {
+		return 0, fmt.Errorf("serve: clean session needs validation points")
+	}
+	d := ds.data
+	if len(req.Truth) != d.N() {
+		return 0, fmt.Errorf("serve: truth has %d entries, dataset %d rows", len(req.Truth), d.N())
+	}
+	for i, j := range req.Truth {
+		if j < 0 || j >= d.Examples[i].M() {
+			return 0, fmt.Errorf("serve: truth candidate %d out of range for row %d (M=%d)", j, i, d.Examples[i].M())
+		}
+	}
+	dim := ds.dim()
+	for i, t := range req.ValPoints {
+		if len(t) != dim {
+			return 0, fmt.Errorf("serve: val point %d has dim %d, dataset expects %d", i, len(t), dim)
+		}
+	}
+	return k, nil
 }
 
 // NewCleanSession validates the request and builds the per-validation-point
@@ -72,28 +102,19 @@ func (s *Server) NewCleanSession(name string, req CleanRequest) (*CleanSession, 
 	if err != nil {
 		return nil, err
 	}
-	k, err := ds.resolveK(req.K)
+	k, err := validateCleanRequest(ds, req)
 	if err != nil {
 		return nil, err
 	}
-	if len(req.ValPoints) == 0 {
-		return nil, fmt.Errorf("serve: clean session needs validation points")
-	}
+	return s.buildCleanSession(ds, k, req)
+}
+
+// buildCleanSession does the expensive part of session construction — the
+// per-validation-point engines (in parallel), the scratch pool hookup, the
+// initial certainty sweep, and the selection engine. req must already have
+// passed validateCleanRequest.
+func (s *Server) buildCleanSession(ds *Dataset, k int, req CleanRequest) (*CleanSession, error) {
 	d := ds.data
-	if len(req.Truth) != d.N() {
-		return nil, fmt.Errorf("serve: truth has %d entries, dataset %d rows", len(req.Truth), d.N())
-	}
-	for i, j := range req.Truth {
-		if j < 0 || j >= d.Examples[i].M() {
-			return nil, fmt.Errorf("serve: truth candidate %d out of range for row %d (M=%d)", j, i, d.Examples[i].M())
-		}
-	}
-	dim := ds.dim()
-	for i, t := range req.ValPoints {
-		if len(t) != dim {
-			return nil, fmt.Errorf("serve: val point %d has dim %d, dataset expects %d", i, len(t), dim)
-		}
-	}
 	cfg := s.cfg
 	c := &CleanSession{
 		ds:       ds,
@@ -221,6 +242,19 @@ func (c *CleanSession) candidateRows() []int {
 	return out
 }
 
+// Close releases the session's serving resources: the per-validation-point
+// engines and the selection engine's memos dominate session memory
+// (O(valpoints · NM log NM)), and dropping them here instead of waiting for
+// the whole session object to fall out of scope is what lets the store hold
+// many finished-but-not-yet-deleted sessions cheaply. Stepping a closed
+// session is an error; Close is idempotent.
+func (c *CleanSession) Close() {
+	c.closed = true
+	c.engines = nil
+	c.sel = nil
+	c.scratches = nil
+}
+
 // Step executes one greedy CPClean step — the shared incremental selection
 // engine (internal/selection) scores every candidate row by expected
 // conditional entropy (Eq. 4), reusing memoized hypothesis sums from earlier
@@ -228,6 +262,9 @@ func (c *CleanSession) candidateRows() []int {
 // minimizer is cleaned and certainty refreshed. ok is false when the session
 // was already done.
 func (c *CleanSession) Step() (step CleanStep, ok bool, err error) {
+	if c.closed {
+		return CleanStep{}, false, fmt.Errorf("serve: clean session is closed")
+	}
 	if c.Done() {
 		return CleanStep{}, false, nil
 	}

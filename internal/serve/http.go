@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -89,19 +91,58 @@ func infoFor(d *Dataset, withPools bool) datasetInfo {
 	return info
 }
 
+// decodeJSON reads one strict JSON body: size-capped with MaxBytesReader
+// (413 on overflow; maxBytes <= 0 disables the cap), unknown fields rejected
+// (a typo'd "vak_points" is a 400 naming the field, not a confusing
+// validation error), and trailing data after the object rejected. On error
+// the response has already been written; callers just return.
+func decodeJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v interface{}) bool {
+	if maxBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, decodeStatus(err), fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		if err == nil {
+			err = fmt.Errorf("serve: trailing data after JSON body")
+		} else {
+			err = fmt.Errorf("serve: trailing data after JSON body: %w", err)
+		}
+		httpError(w, decodeStatus(err), err)
+		return false
+	}
+	return true
+}
+
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // Handler returns the HTTP/JSON API over the server:
 //
-//	POST /v1/datasets              register a dataset
-//	GET  /v1/datasets              list registered names
-//	GET  /v1/datasets/{name}       dataset info + serving stats
-//	POST /v1/datasets/{name}/query batch CP query (BatchRequest → BatchResult)
-//	POST /v1/datasets/{name}/clean CPClean session; streams NDJSON CleanSteps
+//	POST   /v1/datasets                 register a dataset
+//	GET    /v1/datasets                 list registered names
+//	GET    /v1/datasets/{name}          dataset info + serving stats
+//	POST   /v1/datasets/{name}/query    batch CP query (BatchRequest → BatchResult)
+//	POST   /v1/datasets/{name}/clean    create a CPClean session → 201 SessionStatus
+//	GET    /v1/clean/{id}               session status
+//	POST   /v1/clean/{id}/next?steps=N  execute up to N steps (resumable pull)
+//	GET    /v1/clean/{id}/stream?from=K replay steps after K, then stream live NDJSON
+//	DELETE /v1/clean/{id}               release the session
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
 		var req registerRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !decodeJSON(w, r, s.cfg.MaxRegisterBytes, &req) {
 			return
 		}
 		examples := make([]dataset.Example, len(req.Examples))
@@ -142,8 +183,7 @@ func Handler(s *Server) http.Handler {
 			K      int         `json:"k"`
 			UseMC  bool        `json:"use_mc"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !decodeJSON(w, r, s.cfg.MaxQueryBytes, &req) {
 			return
 		}
 		res, err := s.BatchQuery(r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
@@ -160,52 +200,126 @@ func Handler(s *Server) http.Handler {
 			K         int         `json:"k"`
 			MaxSteps  int         `json:"max_steps"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, err)
+		if !decodeJSON(w, r, s.cfg.MaxQueryBytes, &req) {
 			return
 		}
-		sess, err := s.NewCleanSession(r.PathValue("name"), CleanRequest{
+		sess, err := s.StartCleanSession(r.PathValue("name"), CleanRequest{
 			Truth: req.Truth, ValPoints: req.ValPoints, K: req.K, MaxSteps: req.MaxSteps,
 		})
 		if err != nil {
 			httpError(w, errStatus(err), err)
 			return
 		}
-		// Stream one NDJSON object per step, flushed as it completes, then a
-		// summary line.
+		writeJSON(w, http.StatusCreated, sess.Status())
+	})
+	mux.HandleFunc("GET /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.FindCleanSession(r.PathValue("id"))
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sess.Status())
+	})
+	mux.HandleFunc("POST /v1/clean/{id}/next", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.FindCleanSession(r.PathValue("id"))
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		n := 1
+		if q := r.URL.Query().Get("steps"); q != "" {
+			n, err = strconv.Atoi(q)
+			if err != nil || n <= 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: steps=%q must be a positive integer", q))
+				return
+			}
+		}
+		steps, done, err := sess.Next(n)
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		if steps == nil {
+			steps = []CleanStep{}
+		}
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"id":      sess.ID(),
+			"steps":   steps,
+			"done":    done,
+			"session": sess.Status(),
+		})
+	})
+	mux.HandleFunc("GET /v1/clean/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.FindCleanSession(r.PathValue("id"))
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		from := 0
+		if q := r.URL.Query().Get("from"); q != "" {
+			from, err = strconv.Atoi(q)
+			if err != nil || from < 0 {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("serve: from=%q must be a non-negative integer", q))
+				return
+			}
+		}
+		// One NDJSON object per step — replayed history first, then live —
+		// each flushed as it is written so slow runs still deliver progress.
+		// A failed write (client gone) just detaches the driver: every
+		// executed step is in the session history, so the client resumes
+		// with ?from= or /next after reconnecting.
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		enc := json.NewEncoder(w)
 		flusher, _ := w.(http.Flusher)
-		ctx := r.Context()
-		for {
-			// A cleaning step can be expensive; don't keep stepping a session
-			// whose client already disconnected.
-			select {
-			case <-ctx.Done():
-				return
-			default:
+		enc := json.NewEncoder(w)
+		headerWritten := false
+		writeLine := func(v interface{}) bool {
+			if !headerWritten {
+				w.WriteHeader(http.StatusOK)
+				headerWritten = true
 			}
-			step, ok, err := sess.Step()
-			if err != nil {
-				enc.Encode(map[string]string{"error": err.Error()})
-				return
+			if err := enc.Encode(v); err != nil {
+				return false
 			}
-			if !ok {
-				break
-			}
-			enc.Encode(step)
 			if flusher != nil {
 				flusher.Flush()
 			}
+			return true
 		}
-		enc.Encode(map[string]interface{}{
-			"done":                true,
-			"steps":               sess.Steps(),
-			"certain_fraction":    sess.CertainFraction(),
-			"worlds_remaining":    sess.WorldsRemaining().String(),
-			"examined_hypotheses": sess.ExaminedHypotheses(),
+		ctx := r.Context()
+		done, err := sess.DriveFrom(from, func(step CleanStep) bool {
+			if ctx.Err() != nil {
+				return false
+			}
+			return writeLine(step)
 		})
+		if err != nil {
+			if !headerWritten {
+				// Nothing streamed yet — a proper status code is still possible
+				// (busy session → 409, bad from → 400, ...).
+				httpError(w, errStatus(err), err)
+				return
+			}
+			writeLine(map[string]string{"error": err.Error()})
+			return
+		}
+		if done {
+			st := sess.Status()
+			writeLine(map[string]interface{}{
+				"done":                true,
+				"id":                  st.ID,
+				"steps":               st.Steps,
+				"certain_fraction":    st.CertainFraction,
+				"worlds_remaining":    st.WorldsRemaining,
+				"examined_hypotheses": st.ExaminedHypotheses,
+			})
+		}
+	})
+	mux.HandleFunc("DELETE /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.ReleaseCleanSession(r.PathValue("id")); err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
 	})
 	return mux
 }
@@ -213,21 +327,33 @@ func Handler(s *Server) http.Handler {
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// errStatus maps server errors to HTTP status codes: unknown dataset → 404,
-// conflicting registration → 409, anything else (validation) → 400.
+// errStatus maps server errors to HTTP status codes: unknown dataset or
+// session → 404, expired session → 410, session at capacity → 429, busy
+// session or conflicting registration → 409, a session killed by a
+// server-side step error → 500, anything else (validation) → 400.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrConflict):
+	case errors.Is(err, ErrGone):
+		return http.StatusGone
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrConflict):
 		return http.StatusConflict
+	case errors.Is(err, ErrCapacity):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrSessionFailed):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -37,10 +38,29 @@ import (
 // dataset with a different fingerprint.
 var ErrConflict = errors.New("serve: conflict")
 
-// ErrNotFound marks a lookup of an unregistered dataset name. The HTTP layer
-// maps it to 404 so callers can tell "no such dataset" apart from a bad
-// request.
-var ErrNotFound = errors.New("serve: unknown dataset")
+// ErrNotFound marks a lookup of an unregistered dataset name or an unknown
+// clean-session ID. The HTTP layer maps it to 404 so callers can tell "no
+// such resource" apart from a bad request.
+var ErrNotFound = errors.New("serve: not found")
+
+// ErrGone marks a lookup of a clean session that existed but was evicted by
+// the idle-TTL reaper. The HTTP layer maps it to 410 so clients can tell
+// "your session expired, restart the run" apart from a mistyped ID (404).
+var ErrGone = errors.New("serve: session expired")
+
+// ErrBusy marks an attempt to drive a clean session that already has a
+// driver attached (a concurrent /next or /stream). Sessions admit exactly
+// one driver at a time; the HTTP layer maps this to 409.
+var ErrBusy = errors.New("serve: session busy")
+
+// ErrCapacity marks a session creation rejected because MaxCleanSessions
+// live sessions already exist. The HTTP layer maps it to 429.
+var ErrCapacity = errors.New("serve: session capacity reached")
+
+// ErrSessionFailed wraps a server-side step error stored on a clean session:
+// the run cannot continue, but its executed-step history stays replayable.
+// The HTTP layer maps it to 500 — the client did nothing wrong.
+var ErrSessionFailed = errors.New("serve: session failed")
 
 // Config tunes the server.
 type Config struct {
@@ -49,11 +69,35 @@ type Config struct {
 	// EngineCacheSize is the per-(dataset, K) LRU capacity for test-point
 	// engines (0 = DefaultEngineCacheSize, negative = disable caching).
 	EngineCacheSize int
+	// MaxCleanSessions caps concurrently live clean sessions
+	// (0 = DefaultMaxCleanSessions, negative = unlimited). Creation beyond
+	// the cap fails with ErrCapacity (HTTP 429).
+	MaxCleanSessions int
+	// SessionTTL evicts clean sessions idle longer than this
+	// (0 = DefaultSessionTTL, negative = never expire). Expired sessions
+	// answer ErrGone (HTTP 410) until their tombstone ages out.
+	SessionTTL time.Duration
+	// MaxRegisterBytes caps the dataset-registration request body
+	// (0 = DefaultMaxRegisterBytes, negative = unlimited). Oversized bodies
+	// get HTTP 413.
+	MaxRegisterBytes int64
+	// MaxQueryBytes caps query and clean-start request bodies
+	// (0 = DefaultMaxQueryBytes, negative = unlimited).
+	MaxQueryBytes int64
 }
 
 // DefaultEngineCacheSize is the engine LRU capacity used when
 // Config.EngineCacheSize is zero.
 const DefaultEngineCacheSize = 256
+
+// Defaults for the session store and HTTP body caps (used when the
+// corresponding Config field is zero).
+const (
+	DefaultMaxCleanSessions = 64
+	DefaultSessionTTL       = 15 * time.Minute
+	DefaultMaxRegisterBytes = 32 << 20 // datasets are the big payload
+	DefaultMaxQueryBytes    = 8 << 20  // points/truth are much smaller
+)
 
 func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
@@ -65,6 +109,18 @@ func (c Config) withDefaults() Config {
 	if c.EngineCacheSize < 0 {
 		c.EngineCacheSize = 0
 	}
+	if c.MaxCleanSessions == 0 {
+		c.MaxCleanSessions = DefaultMaxCleanSessions
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = DefaultSessionTTL
+	}
+	if c.MaxRegisterBytes == 0 {
+		c.MaxRegisterBytes = DefaultMaxRegisterBytes
+	}
+	if c.MaxQueryBytes == 0 {
+		c.MaxQueryBytes = DefaultMaxQueryBytes
+	}
 	return c
 }
 
@@ -75,11 +131,25 @@ type Server struct {
 
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
+
+	sessions *sessionStore
 }
 
 // NewServer builds an empty server.
 func NewServer(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), datasets: make(map[string]*Dataset)}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		datasets: make(map[string]*Dataset),
+		sessions: newSessionStore(cfg.MaxCleanSessions, cfg.SessionTTL),
+	}
+}
+
+// Close stops the session reaper and releases every live clean session.
+// Safe to call more than once; call it when discarding the server (e.g. on
+// process shutdown) so session resources return to the pools promptly.
+func (s *Server) Close() {
+	s.sessions.close()
 }
 
 // Dataset is one registered incomplete dataset with its serving state.
@@ -146,7 +216,7 @@ func (s *Server) Dataset(name string) (*Dataset, error) {
 	defer s.mu.RUnlock()
 	ds, ok := s.datasets[name]
 	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrNotFound, name)
+		return nil, fmt.Errorf("%w: unknown dataset %q", ErrNotFound, name)
 	}
 	return ds, nil
 }

@@ -416,8 +416,21 @@ func TestHTTPEndToEnd(t *testing.T) {
 		"val_points": randPoints(6, 2, 67),
 		"max_steps":  3,
 	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("clean status %d, want 201", resp.StatusCode)
+	}
+	var status SessionStatus
+	decodeBody(t, resp, &status)
+	if status.ID == "" || status.State != "pending" {
+		t.Fatalf("bad session status: %+v", status)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/clean/" + status.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("clean status %d", resp.StatusCode)
+		t.Fatalf("stream status %d", resp.StatusCode)
 	}
 	defer resp.Body.Close()
 	scanner := bufio.NewScanner(resp.Body)
@@ -440,6 +453,33 @@ func TestHTTPEndToEnd(t *testing.T) {
 		if _, hasRow := obj["row"]; !hasRow {
 			t.Fatalf("step line missing row: %v", obj)
 		}
+	}
+
+	// The finished session is still addressable until released.
+	resp, err = http.Get(srv.URL + "/v1/clean/" + status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &status)
+	if status.State != "done" || status.Steps != len(lines)-1 {
+		t.Fatalf("post-stream status: %+v (stream had %d step lines)", status, len(lines)-1)
+	}
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/clean/"+status.ID, nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d, want 204", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/clean/" + status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status after delete %d, want 404", resp.StatusCode)
 	}
 }
 
@@ -562,9 +602,10 @@ func (w *blockingWriter) contents() string {
 	return w.buf.String()
 }
 
-// TestCleanStreamStopsOnClientCancel checks the NDJSON handler aborts the
-// session between steps once the request context is canceled instead of
-// cleaning to completion for a client that is gone.
+// TestCleanStreamStopsOnClientCancel checks the NDJSON handler detaches
+// from the session between steps once the request context is canceled
+// instead of streaming to completion for a client that is gone — and that
+// the session itself survives the disconnect for later resume.
 func TestCleanStreamStopsOnClientCancel(t *testing.T) {
 	d := randDataset(t, 40, 3, 2, 2, 0.8, 89)
 	s := NewServer(Config{})
@@ -587,13 +628,13 @@ func TestCleanStreamStopsOnClientCancel(t *testing.T) {
 		t.Fatalf("workload finishes in %d steps; too short to observe cancellation", len(order))
 	}
 
-	body, err := json.Marshal(map[string]interface{}{"truth": truth, "val_points": valPts})
+	sess, err := s.StartCleanSession("d", CleanRequest{Truth: truth, ValPoints: valPts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	req := httptest.NewRequest("POST", "/v1/datasets/d/clean", bytes.NewReader(body)).WithContext(ctx)
+	req := httptest.NewRequest("GET", "/v1/clean/"+sess.ID()+"/stream", nil).WithContext(ctx)
 	w := &blockingWriter{first: make(chan struct{}), release: make(chan struct{})}
 	done := make(chan struct{})
 	go func() {
@@ -606,7 +647,8 @@ func TestCleanStreamStopsOnClientCancel(t *testing.T) {
 		t.Fatal("stream never produced a first step")
 	}
 	// The handler is blocked inside the first step's Write. Cancel the
-	// request, then let the write finish: the next loop iteration must abort.
+	// request, then let the write finish: the next loop iteration must
+	// detach.
 	cancel()
 	close(w.release)
 	select {
@@ -621,6 +663,20 @@ func TestCleanStreamStopsOnClientCancel(t *testing.T) {
 	}
 	if strings.Contains(out, `"done"`) {
 		t.Fatalf("canceled stream still wrote the summary line: %q", out)
+	}
+	// The disconnect must not have killed the run: the session is still
+	// addressable and steps onward from where the stream left off.
+	resumed, err := s.FindCleanSession(sess.ID())
+	if err != nil {
+		t.Fatalf("session gone after client disconnect: %v", err)
+	}
+	executed := resumed.Status().Steps
+	steps, _, err := resumed.Next(1)
+	if err != nil {
+		t.Fatalf("resume after disconnect: %v", err)
+	}
+	if len(steps) != 1 || steps[0].Step != executed+1 {
+		t.Fatalf("resume produced %v after %d executed steps", steps, executed)
 	}
 }
 
@@ -670,6 +726,12 @@ func TestCleanSessionReportsExaminedHypotheses(t *testing.T) {
 	resp := postJSON(t, srv.URL+"/v1/datasets/d/clean", map[string]interface{}{
 		"truth": truth, "val_points": randPoints(8, 2, 103),
 	})
+	var status SessionStatus
+	decodeBody(t, resp, &status)
+	resp, err = http.Get(srv.URL + "/v1/clean/" + status.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer resp.Body.Close()
 	scanner := bufio.NewScanner(resp.Body)
 	var last map[string]interface{}
