@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify clean
+.PHONY: build vet test race bench verify verify-docs clean
 
 build:
 	$(GO) build ./...
@@ -14,16 +14,23 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrency-heavy packages: the serving layer (shared
-# engines + pooled scratches), the cleaning loop, and the shared selection
-# engine (parallel hypothesis sweeps over memoized per-point state).
+# engines + pooled scratches), the cleaning loop, the shared selection
+# engine (parallel hypothesis sweeps over memoized per-point state), and
+# the WAL (group-commit flusher vs concurrent appenders).
 race:
-	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/...
+	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/... ./internal/durable/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 
-# Tier-1 gate plus the race suite.
-verify: build vet test race
+# Docs stay honest: vet catches comment drift, docverify extracts every
+# ```go fence from the README and architecture doc and builds it against
+# the current module.
+verify-docs: vet
+	$(GO) run ./internal/tools/docverify README.md docs/ARCHITECTURE.md
+
+# Tier-1 gate plus the race suite and the docs check (which runs vet).
+verify: build test race verify-docs
 
 clean:
 	rm -f cpbench cpclean cpquery cpserve datagen *.test *.prof

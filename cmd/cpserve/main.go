@@ -6,6 +6,17 @@
 //	        [-max-candidates 125] [-parallelism 0] [-engine-cache 256]
 //	        [-max-sessions 64] [-session-ttl 15m]
 //	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
+//	        [-data-dir /var/lib/cpserve] [-wal-segment-bytes 8388608]
+//	        [-wal-sync-interval 5ms]
+//
+// With -data-dir set the server is durable: dataset registrations and every
+// clean-session event are journaled to a CRC-framed write-ahead log (with
+// periodic snapshot compaction) under that directory, and a restart replays
+// it — registered datasets come back verbatim, unfinished clean sessions
+// come back "suspended" and resume bit-for-bit where the journal ends, and
+// released/expired session IDs keep answering 404/410 truthfully. Without
+// -data-dir everything is in-memory and dies with the process. Run exactly
+// one cpserve per data directory.
 //
 // Datasets are registered either at startup (-train: a CSV with missing
 // cells whose last column is the integer label, expanded into candidate
@@ -32,12 +43,15 @@
 // {"error": ...} with status 400 (malformed request, unknown JSON field,
 // trailing body data), 404 (unknown dataset or session), 409 (conflicting
 // registration, or a session that already has a driver attached), 410
-// (expired session), 413 (request body over the configured cap), or 429
-// (MaxCleanSessions live sessions already exist).
+// (expired session), 413 (request body over the configured cap), 429
+// (MaxCleanSessions live sessions already exist), 500 (server-side step
+// error, or a write the durable journal rejected), or 503 (server outside
+// its serving window: still replaying -data-dir, or shutting down).
 //
 // The listener sets a read-header timeout (Slowloris protection) and shuts
-// down gracefully on SIGINT/SIGTERM: in-flight requests drain, then live
-// sessions are closed and their pooled resources released.
+// down gracefully on SIGINT/SIGTERM: in-flight requests drain, live
+// sessions are closed and their pooled resources released, and the WAL is
+// flushed and fsynced before exit so a graceful stop loses nothing.
 package main
 
 import (
@@ -49,6 +63,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -70,45 +86,60 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 0, "evict clean sessions idle this long (0 = default, <0 = never)")
 	maxRegisterBytes := flag.Int64("max-register-bytes", 0, "dataset registration body cap (0 = default, <0 = unlimited)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, "query/clean body cap (0 = default, <0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL size that triggers snapshot compaction (0 = default, <0 = never)")
+	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit fsync window (0 = default, <0 = fsync every append)")
 	flag.Parse()
 
-	srv := serve.NewServer(serve.Config{
-		Parallelism:      *parallelism,
-		EngineCacheSize:  *engineCache,
-		MaxCleanSessions: *maxSessions,
-		SessionTTL:       *sessionTTL,
-		MaxRegisterBytes: *maxRegisterBytes,
-		MaxQueryBytes:    *maxBodyBytes,
-	})
-
-	if *trainPath != "" {
-		f, err := os.Open(*trainPath)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		train, err := table.ReadCSV(f)
-		f.Close()
-		if err != nil {
-			fatalf("reading %s: %v", *trainPath, err)
-		}
-		enc := table.FitEncoder(train, 0)
-		reps, err := repair.Generate(train, nil, enc, repair.Options{MaxRowCandidates: *maxCands})
-		if err != nil {
-			fatalf("%v", err)
-		}
-		ds, err := srv.Register(*name, reps.Dataset, knn.NegEuclidean{}, *k)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		log.Printf("registered %q: %d rows (%d uncertain), %s possible worlds, fingerprint %.12s",
-			ds.Name(), ds.Data().N(), len(ds.Data().UncertainRows()), ds.Data().WorldCount(), ds.Fingerprint())
-	}
-
+	// The listener comes up immediately and answers 503 until recovery (and
+	// any -train registration) completes, so health checks and clients see
+	// "retry shortly" instead of connection-refused during a long replay.
+	var handler atomic.Value
+	handler.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"error":"cpserve: not ready yet (replaying the data directory); retry shortly"}`)
+	})))
 	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           serve.Handler(srv),
+		Addr: *addr,
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(http.Handler).ServeHTTP(w, r)
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	var (
+		srvMu sync.Mutex
+		srv   *serve.Server // nil until recovery completes
+	)
+	go func() {
+		s, err := serve.Open(serve.Config{
+			Parallelism:      *parallelism,
+			EngineCacheSize:  *engineCache,
+			MaxCleanSessions: *maxSessions,
+			SessionTTL:       *sessionTTL,
+			MaxRegisterBytes: *maxRegisterBytes,
+			MaxQueryBytes:    *maxBodyBytes,
+			DataDir:          *dataDir,
+			WALSegmentBytes:  *walSegmentBytes,
+			WALSyncInterval:  *walSyncInterval,
+		})
+		if err != nil {
+			fatalf("opening data dir %s: %v", *dataDir, err)
+		}
+		if *dataDir != "" {
+			nDatasets, nSessions := s.RecoveredCounts()
+			log.Printf("recovered from %s: %d dataset(s), %d live clean session(s)", *dataDir, nDatasets, nSessions)
+		}
+		if *trainPath != "" {
+			registerTrain(s, *trainPath, *name, *k, *maxCands)
+		}
+		srvMu.Lock()
+		srv = s
+		srvMu.Unlock()
+		handler.Store(serve.Handler(s))
+		log.Printf("cpserve ready")
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -122,7 +153,16 @@ func main() {
 		if err := httpSrv.Shutdown(drainCtx); err != nil {
 			log.Printf("cpserve: forced shutdown: %v", err)
 		}
-		srv.Close()
+		// Close releases live sessions and, when -data-dir is set, flushes and
+		// fsyncs the WAL, so a graceful stop loses nothing — not even records
+		// still inside the group-commit window. (A SIGTERM during recovery
+		// finds srv still nil; the half-opened store has no buffered appends
+		// to lose.)
+		srvMu.Lock()
+		if srv != nil {
+			srv.Close()
+		}
+		srvMu.Unlock()
 	}()
 
 	log.Printf("cpserve listening on %s", *addr)
@@ -131,6 +171,33 @@ func main() {
 	}
 	<-shutdownDone
 	log.Printf("cpserve stopped")
+}
+
+// registerTrain loads the -train CSV, expands candidate repairs with the
+// paper's §5.1 protocol, and registers the dataset (idempotent when the
+// data directory already remembers the identical dataset; a fingerprint
+// conflict is fatal — the directory and the flag disagree about the data).
+func registerTrain(srv *serve.Server, path, name string, k, maxCands int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	train, err := table.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatalf("reading %s: %v", path, err)
+	}
+	enc := table.FitEncoder(train, 0)
+	reps, err := repair.Generate(train, nil, enc, repair.Options{MaxRowCandidates: maxCands})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ds, err := srv.Register(name, reps.Dataset, knn.NegEuclidean{}, k)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("registered %q: %d rows (%d uncertain), %s possible worlds, fingerprint %.12s",
+		ds.Name(), ds.Data().N(), len(ds.Data().UncertainRows()), ds.Data().WorldCount(), ds.Fingerprint())
 }
 
 func fatalf(format string, args ...interface{}) {

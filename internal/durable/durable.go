@@ -1,0 +1,719 @@
+// Package durable is the crash-safe persistence layer under the serving
+// registry: an append-only, CRC-framed write-ahead log plus snapshot store.
+// It journals opaque per-entity records (dataset registrations, clean-session
+// events) and rebuilds the exact record stream after a process restart —
+// including a restart caused by a crash mid-write, where the torn final
+// record is detected by its checksum and cleanly truncated instead of
+// poisoning startup.
+//
+// The package is deliberately schema-free: a Record is (entity id, type,
+// JSON payload) and the owner decides what the payloads mean and how to fold
+// them into state. That keeps the interface node-agnostic — the same
+// entity-id → record-stream contract works whether one process owns every
+// entity or a sharded deployment hands entity streams between nodes.
+//
+// # On-disk layout
+//
+// A store directory holds numbered WAL segments and at most one live
+// snapshot:
+//
+//	wal-00000001.log    CRC-framed records, oldest surviving segment
+//	wal-00000002.log    ... the highest-numbered segment is the active one
+//	snap-00000001.snap  state as of the end of segment 1 (owner-defined bytes)
+//
+// Every segment starts with an 8-byte magic header; each record is framed as
+//
+//	[4-byte little-endian payload length][4-byte CRC-32C of payload][payload]
+//
+// Snapshot files carry their own magic, length, and CRC, and are written to
+// a temp file and renamed into place, so a crash mid-snapshot leaves the
+// previous snapshot (or none) intact.
+//
+// # Durability model
+//
+// Append buffers the record and returns; a background flusher fsyncs the
+// active segment every SyncInterval, so many appends share one fsync (group
+// commit). AppendSync additionally blocks until the record's bytes are on
+// disk — use it for acknowledgements the client must be able to rely on
+// across a crash. Records lost in the un-synced window are exactly the
+// freshest tail; an owner whose replay is deterministic (CPClean's is)
+// re-executes that tail identically, so batching costs a bounded amount of
+// redone work, never correctness.
+//
+// # Recovery
+//
+// Open loads the newest intact snapshot (a corrupt one falls back to its
+// predecessor), then replays every later segment in order. A record that
+// fails its CRC — a torn write from a crash mid-append or mid-fsync — ends
+// replay of that segment: if it is the active (final) segment the file is
+// truncated back to the last good record and appends continue from there;
+// a corrupt interior segment is reported via Logf and the rest of that
+// segment skipped. Open never fails because of a torn tail.
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Record is one journaled event of one entity.
+type Record struct {
+	// Entity identifies whose stream this record belongs to, e.g.
+	// "dataset/iris" or "session/cs_0a1b...". Replay preserves the global
+	// append order, which also orders every entity's stream.
+	Entity string `json:"entity"`
+	// Type names the event within the entity's stream ("register", "step",
+	// "release", ...). The store does not interpret it.
+	Type string `json:"type"`
+	// Data is the owner-defined payload.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// Options tunes a store.
+type Options struct {
+	// SyncInterval is the group-commit window: the flusher fsyncs the active
+	// segment this often while appends are outstanding. 0 = DefaultSyncInterval;
+	// negative = fsync synchronously on every append (no batching).
+	SyncInterval time.Duration
+	// Logf receives recovery warnings (torn tails, skipped segments) and
+	// background-maintenance errors. Defaults to log.Printf.
+	Logf func(format string, args ...interface{})
+}
+
+const (
+	// DefaultSyncInterval is the default group-commit fsync window.
+	DefaultSyncInterval = 5 * time.Millisecond
+
+	segMagic  = "CPWALv1\n"
+	snapMagic = "CPSNAP1\n"
+
+	frameHeaderLen = 8 // 4-byte length + 4-byte CRC-32C
+
+	// maxRecordBytes guards replay against allocating for a garbage length
+	// field that happens to pass no other sanity check.
+	maxRecordBytes = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed marks operations on a closed store.
+var ErrClosed = errors.New("durable: store is closed")
+
+// Store is an open WAL+snapshot directory. Append/AppendSync/Sync/Compact
+// are safe for concurrent use; the store assumes it is the directory's only
+// writer (run one process per data directory).
+type Store struct {
+	dir  string
+	opts Options
+
+	snapshot []byte   // newest intact snapshot payload, nil if none
+	records  []Record // records after the snapshot, in append order
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signals syncedSeq advancing
+	f         *os.File   // active segment
+	w         *bufio.Writer
+	activeSeq int    // active segment number
+	activeLen int64  // bytes written to the active segment (incl. header)
+	appendSeq uint64 // records appended since open
+	syncedSeq uint64 // records known durable
+	syncErr   error  // sticky: a failed fsync poisons the store
+	closed    bool
+
+	flusherStop chan struct{}
+	flusherDone chan struct{}
+}
+
+// Open opens (creating if needed) the store directory, recovers the newest
+// intact snapshot plus every record appended after it, truncates any torn
+// tail left by a crash, and readies the highest-numbered segment for
+// appends. The recovered state is exposed via Snapshot and Records.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.SyncInterval == 0 {
+		opts.SyncInterval = DefaultSyncInterval
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	st := &Store{dir: dir, opts: opts}
+	st.cond = sync.NewCond(&st.mu)
+
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segSet := make(map[int]bool, len(segs))
+	for _, q := range segs {
+		segSet[q] = true
+	}
+	hasRange := func(lo, hi int) bool {
+		for q := lo; q <= hi; q++ {
+			if !segSet[q] {
+				return false
+			}
+		}
+		return true
+	}
+	// Pick the newest readable snapshot. An unreadable snapshot is only
+	// skippable when the segments it condensed still exist (Compact failed
+	// before deleting them) — otherwise skipping it would silently discard
+	// every record it held, so starting up at all would be data loss dressed
+	// as success. Refuse instead and let the operator restore the file, or
+	// delete it to explicitly accept the loss.
+	snapSeq := 0
+	for i := len(snaps) - 1; i >= 0; i-- {
+		seq := snaps[i]
+		b, err := readSnapshot(filepath.Join(dir, snapName(seq)))
+		if err == nil {
+			st.snapshot = b
+			snapSeq = seq
+			break
+		}
+		prev := 0
+		if i > 0 {
+			prev = snaps[i-1]
+		}
+		if !hasRange(prev+1, seq) {
+			return nil, fmt.Errorf(
+				"durable: snapshot %s is unreadable (%v) and the segments it condensed are gone; refusing to start with silent data loss — restore the file, or delete it to accept the loss",
+				snapName(seq), err)
+		}
+		opts.Logf("durable: snapshot %s unreadable (%v); its segments survive, recovering from them instead", snapName(seq), err)
+	}
+	// The segments to replay must be gapless: a missing middle segment means
+	// records vanished outside any journaled path. When a snapshot was
+	// chosen, segment snapSeq+1 must exist too — Compact creates it before
+	// writing the snapshot, so its absence is equally a loss. (With no
+	// usable snapshot the first surviving segment is accepted as-is: that is
+	// the operator's explicit delete-to-accept-loss path.)
+	prev := -1
+	for _, seq := range segs {
+		if seq <= snapSeq {
+			continue
+		}
+		switch {
+		case prev == -1 && st.snapshot != nil && seq != snapSeq+1:
+			return nil, fmt.Errorf("durable: %s chosen but %s is missing; refusing to replay around missing records", snapName(snapSeq), segName(snapSeq+1))
+		case prev != -1 && seq != prev+1:
+			return nil, fmt.Errorf("durable: WAL segment gap: %s is followed by %s; refusing to replay around missing records", segName(prev), segName(seq))
+		}
+		prev = seq
+	}
+	for _, seq := range segs {
+		if seq <= snapSeq {
+			// Fully covered by the snapshot; normally deleted by Compact, but a
+			// crash between snapshot write and segment deletion leaves them.
+			continue
+		}
+		final := seq == segs[len(segs)-1]
+		if err := st.replaySegment(seq, final); err != nil {
+			return nil, err
+		}
+	}
+
+	if len(segs) == 0 || segs[len(segs)-1] <= snapSeq {
+		// Nothing to append to: start a fresh segment after the snapshot.
+		if err := st.startSegment(snapSeq + 1); err != nil {
+			return nil, err
+		}
+	}
+	st.flusherStop = make(chan struct{})
+	st.flusherDone = make(chan struct{})
+	go st.flusher()
+	return st, nil
+}
+
+// Snapshot returns the newest intact snapshot payload recovered by Open, or
+// nil if none was found. The caller must treat it as read-only.
+func (st *Store) Snapshot() []byte { return st.snapshot }
+
+// Records returns the records recovered by Open, in append order, starting
+// after the state captured by Snapshot. (Overlap is possible when a crash
+// interrupted a Compact: apply records idempotently.)
+func (st *Store) Records() []Record { return st.records }
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// ActiveSegmentBytes reports the size of the active segment — the owner's
+// rotation/compaction trigger.
+func (st *Store) ActiveSegmentBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.activeLen
+}
+
+// scanDir lists segment and snapshot sequence numbers in ascending order.
+func scanDir(dir string) (segs, snaps []int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: %w", err)
+	}
+	for _, e := range entries {
+		var seq int
+		// Sscanf reports a converted %08d even when the literal suffix then
+		// fails to match, so round-trip the name to keep strays (leftover
+		// snap-*.tmp files, backups) out of the sequence lists.
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.log", &seq); n == 1 && segName(seq) == e.Name() {
+			segs = append(segs, seq)
+		} else if n, _ := fmt.Sscanf(e.Name(), "snap-%08d.snap", &seq); n == 1 && snapName(seq) == e.Name() {
+			snaps = append(snaps, seq)
+		}
+	}
+	sort.Ints(segs)
+	sort.Ints(snaps)
+	return segs, snaps, nil
+}
+
+func segName(seq int) string  { return fmt.Sprintf("wal-%08d.log", seq) }
+func snapName(seq int) string { return fmt.Sprintf("snap-%08d.snap", seq) }
+
+// replaySegment reads one segment into st.records. For the final (active)
+// segment a corrupt or torn record truncates the file back to the last good
+// offset and the segment stays open for appends; for interior segments the
+// remainder is skipped with a warning.
+func (st *Store) replaySegment(seq int, final bool) error {
+	path := filepath.Join(st.dir, segName(seq))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	header := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(f, header); err != nil || string(header) != segMagic {
+		f.Close()
+		if !final {
+			st.opts.Logf("durable: segment %s has a bad header; skipping it", segName(seq))
+			return nil
+		}
+		// An empty or garbage active segment (crash during creation): recreate.
+		st.opts.Logf("durable: active segment %s has a bad header; recreating it", segName(seq))
+		return st.startSegment(seq)
+	}
+	r := bufio.NewReader(f)
+	good := int64(len(segMagic)) // end offset of the last intact record
+	var frame [frameHeaderLen]byte
+	for {
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				f.Close()
+				return fmt.Errorf("durable: reading %s: %w", segName(seq), err)
+			}
+			if err == io.ErrUnexpectedEOF {
+				st.truncateWarn(seq, good, "torn frame header")
+			}
+			break
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > maxRecordBytes {
+			st.truncateWarn(seq, good, fmt.Sprintf("implausible record length %d", length))
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err != io.EOF && err != io.ErrUnexpectedEOF {
+				f.Close()
+				return fmt.Errorf("durable: reading %s: %w", segName(seq), err)
+			}
+			st.truncateWarn(seq, good, "torn record payload")
+			break
+		}
+		if crc32.Checksum(payload, crcTable) != sum {
+			st.truncateWarn(seq, good, "record checksum mismatch")
+			break
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// The frame was intact, so this is not a torn write; still, one
+			// undecodable record must not take down startup.
+			st.opts.Logf("durable: %s: skipping undecodable record at offset %d: %v", segName(seq), good, err)
+		} else {
+			st.records = append(st.records, rec)
+		}
+		good += frameHeaderLen + int64(length)
+	}
+	if !final {
+		f.Close()
+		return nil
+	}
+	// Adopt as the active segment: drop anything after the last good record
+	// so new appends land on a clean tail.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: truncating %s: %w", segName(seq), err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	st.f = f
+	st.w = bufio.NewWriter(f)
+	st.activeSeq = seq
+	st.activeLen = good
+	return nil
+}
+
+func (st *Store) truncateWarn(seq int, good int64, why string) {
+	st.opts.Logf("durable: %s: %s at offset %d; resuming from the last intact record", segName(seq), why, good)
+}
+
+// startSegment creates (truncating any leftover) segment seq and makes it
+// active. Caller guarantees no concurrent appends (Open, or Compact under mu).
+func (st *Store) startSegment(seq int) error {
+	f, err := os.OpenFile(filepath.Join(st.dir, segName(seq)), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	if _, err := f.WriteString(segMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: %w", err)
+	}
+	if err := syncDir(st.dir); err != nil {
+		f.Close()
+		return err
+	}
+	st.f = f
+	st.w = bufio.NewWriter(f)
+	st.activeSeq = seq
+	st.activeLen = int64(len(segMagic))
+	return nil
+}
+
+// Append journals one record. It returns once the record is buffered in the
+// active segment; durability follows within one SyncInterval (or immediately
+// when SyncInterval < 0). Use AppendSync when the caller must not proceed
+// until the record is on disk.
+func (st *Store) Append(rec Record) error {
+	_, err := st.append(rec)
+	return err
+}
+
+// AppendSync journals one record and blocks until it is fsynced. Concurrent
+// AppendSync callers share fsyncs (group commit), so the cost of a burst of
+// durable appends is one flush window, not one fsync each.
+func (st *Store) AppendSync(rec Record) error {
+	wait, err := st.AppendWait(rec)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// AppendWait buffers the record like Append and returns a function that
+// blocks until it is on disk. This splits the durable append in two so a
+// caller can buffer the record while holding its own locks — keeping its
+// state mutation and the record's log position atomic with respect to
+// snapshots — and pay the fsync wait after releasing them. A non-nil error
+// means nothing was appended; an error from wait means the record may not
+// be durable (and the store is poisoned — see Append).
+func (st *Store) AppendWait(rec Record) (wait func() error, err error) {
+	seq, err := st.append(rec)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return st.waitSynced(seq) }, nil
+}
+
+// ReleaseRecovered drops the recovered snapshot and record buffers once the
+// owner has folded them into its state — they are loaded once at Open and
+// would otherwise stay resident for the life of the store.
+func (st *Store) ReleaseRecovered() {
+	st.snapshot = nil
+	st.records = nil
+}
+
+func (st *Store) append(rec Record) (uint64, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("durable: encoding record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecordBytes)
+	}
+	var frame [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	if st.syncErr != nil {
+		return 0, st.syncErr
+	}
+	if _, err := st.w.Write(frame[:]); err != nil {
+		return 0, st.poison(err)
+	}
+	if _, err := st.w.Write(payload); err != nil {
+		return 0, st.poison(err)
+	}
+	st.activeLen += frameHeaderLen + int64(len(payload))
+	st.appendSeq++
+	seq := st.appendSeq
+	if st.opts.SyncInterval < 0 {
+		if err := st.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// poison records a sticky write/fsync failure: once bytes may be missing
+// from the log, every later append must fail too, or replay would see a gap.
+// Caller holds st.mu.
+func (st *Store) poison(err error) error {
+	if st.syncErr == nil {
+		st.syncErr = fmt.Errorf("durable: log write failed: %w", err)
+		st.cond.Broadcast()
+	}
+	return st.syncErr
+}
+
+// flushLocked flushes the buffer and fsyncs the active segment. Caller holds
+// st.mu.
+func (st *Store) flushLocked() error {
+	if st.syncErr != nil {
+		return st.syncErr
+	}
+	if st.syncedSeq == st.appendSeq {
+		return nil
+	}
+	if err := st.w.Flush(); err != nil {
+		return st.poison(err)
+	}
+	if err := st.f.Sync(); err != nil {
+		return st.poison(err)
+	}
+	st.syncedSeq = st.appendSeq
+	st.cond.Broadcast()
+	return nil
+}
+
+func (st *Store) waitSynced(seq uint64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for st.syncedSeq < seq && st.syncErr == nil && !st.closed {
+		st.cond.Wait()
+	}
+	if st.syncErr != nil {
+		return st.syncErr
+	}
+	if st.syncedSeq < seq {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Sync forces an immediate flush+fsync of everything appended so far.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.flushLocked()
+}
+
+// flusher is the group-commit loop: while appends are outstanding it fsyncs
+// once per SyncInterval and wakes every AppendSync waiter at once.
+func (st *Store) flusher() {
+	defer close(st.flusherDone)
+	interval := st.opts.SyncInterval
+	if interval < 0 {
+		// Synchronous mode: appends fsync inline; nothing to do here.
+		<-st.flusherStop
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.flusherStop:
+			return
+		case <-ticker.C:
+			st.mu.Lock()
+			if !st.closed {
+				if err := st.flushLocked(); err != nil {
+					st.opts.Logf("durable: background fsync failed: %v", err)
+				}
+			}
+			st.mu.Unlock()
+		}
+	}
+}
+
+// Compact rotates the WAL and replaces everything before the rotation point
+// with one snapshot: it seals the active segment, opens a new one (appends
+// proceed there immediately), calls state for the owner's serialized state —
+// which must reflect at least every record appended before Compact was
+// called — writes it as the new snapshot, and deletes the superseded
+// segments and older snapshots. On a state or write error the old segments
+// stay, so a failed compaction costs only disk space, never records.
+func (st *Store) Compact(state func() ([]byte, error)) error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return ErrClosed
+	}
+	if err := st.flushLocked(); err != nil {
+		st.mu.Unlock()
+		return err
+	}
+	sealed := st.activeSeq
+	old := st.f
+	if err := st.startSegment(sealed + 1); err != nil {
+		// startSegment left st.f/st.w untouched on failure: the sealed segment
+		// is intact, flushed, and stays active.
+		st.mu.Unlock()
+		return err
+	}
+	old.Close()
+	st.mu.Unlock()
+
+	// Serialize outside the lock: appends (to the new segment) keep flowing
+	// while the snapshot is built and written. Records that race into the
+	// snapshot AND the new segment are re-applied harmlessly as long as the
+	// owner's apply is idempotent (see Records).
+	b, err := state()
+	if err != nil {
+		return fmt.Errorf("durable: snapshot state: %w", err)
+	}
+	if err := writeSnapshot(st.dir, sealed, b); err != nil {
+		return err
+	}
+	// The snapshot covers every segment up to and including the sealed one,
+	// and any older snapshot.
+	segs, snaps, err := scanDir(st.dir)
+	if err != nil {
+		return err
+	}
+	for _, seq := range segs {
+		if seq <= sealed {
+			if err := os.Remove(filepath.Join(st.dir, segName(seq))); err != nil {
+				st.opts.Logf("durable: removing compacted %s: %v", segName(seq), err)
+			}
+		}
+	}
+	for _, seq := range snaps {
+		if seq < sealed {
+			if err := os.Remove(filepath.Join(st.dir, snapName(seq))); err != nil {
+				st.opts.Logf("durable: removing superseded %s: %v", snapName(seq), err)
+			}
+		}
+	}
+	return syncDir(st.dir)
+}
+
+// Close flushes and fsyncs outstanding appends and closes the active
+// segment. Further operations fail with ErrClosed. Safe to call twice.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	err := st.flushLocked()
+	st.closed = true
+	st.cond.Broadcast()
+	closeErr := st.f.Close()
+	st.mu.Unlock()
+	close(st.flusherStop)
+	<-st.flusherDone
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return fmt.Errorf("durable: %w", closeErr)
+	}
+	return nil
+}
+
+// writeSnapshot writes seq's snapshot atomically: temp file, fsync, rename,
+// directory fsync.
+func writeSnapshot(dir string, seq int, payload []byte) error {
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var header [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(header[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(header[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := tmp.WriteString(snapMagic); err == nil {
+		if _, err = tmp.Write(header[:]); err == nil {
+			_, err = tmp.Write(payload)
+		}
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("durable: writing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(seq))); err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// readSnapshot loads and verifies one snapshot file.
+func readSnapshot(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(snapMagic)+frameHeaderLen || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("bad snapshot header")
+	}
+	body := b[len(snapMagic):]
+	length := binary.LittleEndian.Uint32(body[0:4])
+	sum := binary.LittleEndian.Uint32(body[4:8])
+	payload := body[frameHeaderLen:]
+	if uint32(len(payload)) != length {
+		return nil, fmt.Errorf("snapshot length %d, header says %d", len(payload), length)
+	}
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("snapshot checksum mismatch")
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so renames/creates/removes inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durable: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durable: fsync %s: %w", dir, err)
+	}
+	return nil
+}

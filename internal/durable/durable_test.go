@@ -1,0 +1,399 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func rec(entity, typ string, payload interface{}) Record {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		panic(err)
+	}
+	return Record{Entity: entity, Type: typ, Data: b}
+}
+
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func appendN(t *testing.T, st *Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := st.Append(rec(fmt.Sprintf("session/%d", i%3), "step", map[string]int{"i": i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkRecords(t *testing.T, got []Record, n int) {
+	t.Helper()
+	if len(got) != n {
+		t.Fatalf("recovered %d records, want %d", len(got), n)
+	}
+	for i, r := range got {
+		var p struct{ I int }
+		if err := json.Unmarshal(r.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p.I != i {
+			t.Fatalf("record %d has payload i=%d", i, p.I)
+		}
+	}
+}
+
+// TestRoundTrip pins the basic contract: what was appended (and synced)
+// before Close is exactly what a reopen replays, in order.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 25)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, Options{})
+	defer st2.Close()
+	if st2.Snapshot() != nil {
+		t.Fatal("unexpected snapshot in a snapshot-free store")
+	}
+	checkRecords(t, st2.Records(), 25)
+}
+
+// TestAppendSyncDurableWithoutClose pins group commit: AppendSync returning
+// means the record is on disk even if the process never closes the store —
+// a reopen of a copy of the directory (the crash simulation) sees it.
+func TestAppendSyncDurableWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{SyncInterval: time.Millisecond})
+	defer st.Close()
+	for i := 0; i < 7; i++ {
+		if err := st.AppendSync(rec("e", "step", map[string]int{"i": i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crash := t.TempDir()
+	copyDir(t, dir, crash)
+	st2 := openT(t, crash, Options{})
+	defer st2.Close()
+	checkRecords(t, st2.Records(), 7)
+}
+
+// TestTornTailSweep is the crash-mid-fsync simulation: a crash can leave any
+// byte-length prefix of the final record (or frame header) on disk. For
+// every truncation point inside the last record, Open must warn, truncate
+// back to the last intact record, and carry on — never fail, never
+// resurrect garbage, and stay appendable afterwards.
+func TestTornTailSweep(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 5)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the start of the final record: replay 4 records' worth of frames.
+	offsets := frameOffsets(t, whole)
+	if len(offsets) != 6 { // header end + 5 record ends
+		t.Fatalf("found %d frame offsets, want 6", len(offsets))
+	}
+	lastStart, lastEnd := offsets[4], offsets[5]
+	for cut := lastStart + 1; cut < lastEnd; cut++ {
+		cutDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cutDir, segName(1)), whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var warned bool
+		st2, err := Open(cutDir, Options{Logf: func(string, ...interface{}) { warned = true }})
+		if err != nil {
+			t.Fatalf("cut at %d: open failed: %v", cut, err)
+		}
+		checkRecords(t, st2.Records(), 4)
+		if !warned {
+			t.Fatalf("cut at %d: no warning logged for the torn tail", cut)
+		}
+		// The store must be cleanly appendable after truncation.
+		if err := st2.Append(rec("e", "post", map[string]int{"i": 4})); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := st2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st3 := openT(t, cutDir, Options{})
+		checkRecords(t, st3.Records(), 5)
+		st3.Close()
+	}
+}
+
+// TestCorruptTailBitFlip: a flipped payload byte in the final record fails
+// its CRC and is dropped, with everything before it kept.
+func TestCorruptTailBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 3)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(dir, segName(1))
+	b, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x40
+	if err := os.WriteFile(segPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	st2, err := Open(dir, Options{Logf: func(f string, a ...interface{}) { msgs = append(msgs, fmt.Sprintf(f, a...)) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	checkRecords(t, st2.Records(), 2)
+	joined := strings.Join(msgs, "\n")
+	if !strings.Contains(joined, "checksum") {
+		t.Fatalf("corruption warning does not mention the checksum: %q", joined)
+	}
+}
+
+// TestCompact pins rotation: after Compact the old segments are gone, the
+// snapshot holds the owner's state, and a reopen sees snapshot + only the
+// records appended after the rotation point.
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 10)
+	if err := st.Compact(func() ([]byte, error) { return []byte(`{"upto":10}`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Post-compaction records land in the new segment.
+	for i := 0; i < 4; i++ {
+		if err := st.Append(rec("e", "post", map[string]int{"i": i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1))); !os.IsNotExist(err) {
+		t.Fatalf("compacted segment 1 still exists (stat err %v)", err)
+	}
+	st2 := openT(t, dir, Options{})
+	defer st2.Close()
+	if string(st2.Snapshot()) != `{"upto":10}` {
+		t.Fatalf("snapshot = %q", st2.Snapshot())
+	}
+	if len(st2.Records()) != 4 {
+		t.Fatalf("recovered %d post-snapshot records, want 4", len(st2.Records()))
+	}
+	// A second compaction supersedes the first snapshot.
+	if err := st2.Compact(func() ([]byte, error) { return []byte(`{"upto":14}`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	st3 := openT(t, dir, Options{})
+	defer st3.Close()
+	if string(st3.Snapshot()) != `{"upto":14}` {
+		t.Fatalf("snapshot after recompaction = %q", st3.Snapshot())
+	}
+	if len(st3.Records()) != 0 {
+		t.Fatalf("recovered %d records after full compaction, want 0", len(st3.Records()))
+	}
+}
+
+// TestCorruptSnapshotRefusesSilentLoss: when the newest snapshot is damaged
+// and the segments it condensed are gone (the normal post-compaction state),
+// Open must refuse to start — proceeding would silently discard everything
+// the snapshot held. Deleting the snapshot is the operator's explicit
+// accept-the-loss override.
+func TestCorruptSnapshotRefusesSilentLoss(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 6)
+	if err := st.Compact(func() ([]byte, error) { return []byte(`state`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapName(1))
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(snapPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{Logf: t.Logf}); err == nil || !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("Open over a corrupt snapshot with its segments gone = %v, want a refusing-to-start error", err)
+	}
+	// Operator override: delete the snapshot, accept the loss, start empty.
+	if err := os.Remove(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, Options{})
+	defer st2.Close()
+	if st2.Snapshot() != nil || len(st2.Records()) != 0 {
+		t.Fatalf("after explicit snapshot removal: snapshot %v, %d records; want empty", st2.Snapshot(), len(st2.Records()))
+	}
+}
+
+// TestCorruptSnapshotFallsBackWhenSegmentsSurvive: if compaction wrote the
+// snapshot but failed to delete the segments it condensed, a later snapshot
+// corruption is recoverable — Open warns and replays the surviving segments.
+func TestCorruptSnapshotFallsBackWhenSegmentsSurvive(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{})
+	appendN(t, st, 6)
+	if err := st.Sync(); err != nil { // flush so the copy below holds the records
+		t.Fatal(err)
+	}
+	seg1, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(func() ([]byte, error) { return []byte(`state`), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the failed deletion: put the condensed segment back, then
+	// corrupt the snapshot.
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), seg1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapName(1))
+	b, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(snapPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var warned bool
+	st2, err := Open(dir, Options{Logf: func(string, ...interface{}) { warned = true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Snapshot() != nil {
+		t.Fatal("corrupt snapshot was not rejected")
+	}
+	checkRecords(t, st2.Records(), 6)
+	if !warned {
+		t.Fatal("no warning for the corrupt snapshot")
+	}
+}
+
+// TestConcurrentAppendSync hammers group commit from many goroutines — for
+// -race, and to check every record survives a reopen.
+func TestConcurrentAppendSync(t *testing.T) {
+	dir := t.TempDir()
+	st := openT(t, dir, Options{SyncInterval: time.Millisecond})
+	var wg sync.WaitGroup
+	const writers, each = 8, 20
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				var err error
+				if i%4 == 0 {
+					err = st.AppendSync(rec(fmt.Sprintf("w/%d", g), "step", map[string]int{"i": i}))
+				} else {
+					err = st.Append(rec(fmt.Sprintf("w/%d", g), "step", map[string]int{"i": i}))
+				}
+				if err != nil {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openT(t, dir, Options{})
+	defer st2.Close()
+	if got := len(st2.Records()); got != writers*each {
+		t.Fatalf("recovered %d records, want %d", got, writers*each)
+	}
+}
+
+// TestClosedStoreErrors pins ErrClosed on every post-Close operation.
+func TestClosedStoreErrors(t *testing.T) {
+	st := openT(t, t.TempDir(), Options{})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := st.Append(rec("e", "t", nil)); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := st.Sync(); err != ErrClosed {
+		t.Fatalf("Sync after Close = %v, want ErrClosed", err)
+	}
+	if err := st.Compact(func() ([]byte, error) { return nil, nil }); err != ErrClosed {
+		t.Fatalf("Compact after Close = %v, want ErrClosed", err)
+	}
+}
+
+// frameOffsets returns the byte offset after the segment header and after
+// each intact record, by walking the frames like replay does.
+func frameOffsets(t *testing.T, b []byte) []int64 {
+	t.Helper()
+	if len(b) < len(segMagic) || string(b[:len(segMagic)]) != segMagic {
+		t.Fatal("bad segment header")
+	}
+	offs := []int64{int64(len(segMagic))}
+	pos := len(segMagic)
+	for pos+frameHeaderLen <= len(b) {
+		length := int(uint32(b[pos]) | uint32(b[pos+1])<<8 | uint32(b[pos+2])<<16 | uint32(b[pos+3])<<24)
+		pos += frameHeaderLen + length
+		if pos > len(b) {
+			break
+		}
+		offs = append(offs, int64(pos))
+	}
+	return offs
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

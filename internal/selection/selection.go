@@ -1,26 +1,3 @@
-// Package selection is the shared greedy entropy-selection engine behind
-// CPClean (paper §4, Eq. 4): given one pinnable CP-query engine per
-// validation point, it repeatedly scores candidate training rows by the
-// expected conditional entropy of the validation predictions under the
-// hypothetical cleaning of each row, and returns the minimizers.
-//
-// Both iterative cleaners — the library loop (cleaning.CPClean and the
-// shared runState of RandomClean) and the serving layer's streaming
-// CleanSession — drive the same Selector, so the selection logic and its
-// exact prunings live in one place.
-//
-// Beyond the two per-round prunings the paper already licenses (certain
-// validation points contribute zero entropy forever; rows outside a point's
-// top-K relevance set cannot move its Q2 distribution), the Selector reuses
-// work *across* rounds: the per-(row, validation point) hypothesis entropy
-// sums are memoized, and pinning row r invalidates only the memo of
-// validation points r was relevant to. For every other point v the pin
-// provably changes nothing — r can never enter v's top-K in any world, so
-// v's Q2 distribution, v's relevance mask, and every hypothesis distribution
-// over v are bit-for-bit identical before and after the pin (the lemma
-// core.Engine.RelevantRows documents, verified by
-// core.TestIrrelevantPinLeavesHypothesesUnchanged) — so round t+1 rescans
-// only the (row, point) pairs the round-t pin actually touched.
 package selection
 
 import (

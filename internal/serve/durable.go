@@ -1,0 +1,665 @@
+package serve
+
+// This file is the bridge between the serving layer and internal/durable:
+// the journal (what gets written, and with which durability class), the
+// persisted wire schemas, and recovery (how snapshot + record stream fold
+// back into a Server).
+//
+// Journal design: every state transition the server must survive is one
+// record in one entity's stream —
+//
+//	dataset/<name>: register                      (the full dataset content)
+//	session/<id>:   create, step*, done|fail, expire|release
+//
+// Registrations, session creations, and terminal events use group-commit
+// AppendSync (the client's acknowledgement implies durability); per-step
+// records use async Append — a crash can lose the freshest few steps, but
+// CPClean's step function is deterministic (the PR-3 lockstep property), so
+// recovery re-executes exactly the lost tail and the resumed run emits a
+// bit-for-bit identical sequence. Durability batching therefore bounds
+// redone work, never correctness.
+//
+// Recovery design: datasets are rebuilt eagerly (cheap: decode + fingerprint
+// check); sessions are re-materialized in a "suspended" state holding only
+// their request and executed-step history. The first driver that touches a
+// suspended session rebuilds its engines and re-executes the journaled
+// prefix through the selection engine, verifying each re-executed step
+// against the history — after that the selector's memos are in exactly the
+// state an uninterrupted run would have, which is what makes the remaining
+// sequence (rows, candidates, examined_hypotheses) bit-identical.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/durable"
+	"repro/internal/knn"
+)
+
+// persistedDataset is the journaled form of one registration: the full
+// content (candidates round-trip bit-exactly through JSON — Go emits the
+// shortest float form that parses back to the same float64), plus the
+// fingerprint as an end-to-end integrity check on top of the WAL's CRC.
+type persistedDataset struct {
+	Name        string        `json:"name"`
+	Fingerprint string        `json:"fingerprint"`
+	NumLabels   int           `json:"num_labels"`
+	Examples    []exampleJSON `json:"examples"`
+	Kernel      KernelSpec    `json:"kernel"`
+	K           int           `json:"k"`
+}
+
+// persistedSession carries a session through a restart. A create record
+// fills identity + request; snapshots additionally embed the executed
+// history and terminal state.
+type persistedSession struct {
+	ID        string      `json:"id"`
+	Dataset   string      `json:"dataset"`
+	K         int         `json:"k"` // resolved K, not the request's 0-default
+	Truth     []int       `json:"truth,omitempty"`
+	ValPoints [][]float64 `json:"val_points,omitempty"`
+	MaxSteps  int         `json:"max_steps,omitempty"`
+	Created   time.Time   `json:"created"`
+
+	History []CleanStep `json:"history,omitempty"` // snapshots only
+	Done    bool        `json:"done,omitempty"`
+	Failed  string      `json:"failed,omitempty"`
+	// Final summary fields, meaningful when Done (or as the latest snapshot
+	// of a running session).
+	CertainFraction float64 `json:"certain_fraction,omitempty"`
+	Worlds          string  `json:"worlds,omitempty"`
+	Examined        int64   `json:"examined,omitempty"`
+}
+
+type stepRecord struct {
+	ID   string    `json:"id"`
+	Step CleanStep `json:"step"`
+}
+
+type doneRecord struct {
+	ID              string  `json:"id"`
+	Steps           int     `json:"steps"`
+	CertainFraction float64 `json:"certain_fraction"`
+	Worlds          string  `json:"worlds"`
+	Examined        int64   `json:"examined"`
+}
+
+type failRecord struct {
+	ID    string `json:"id"`
+	Error string `json:"error"`
+}
+
+type expireRecord struct {
+	ID string    `json:"id"`
+	At time.Time `json:"at"`
+}
+
+type releaseRecord struct {
+	ID string `json:"id"`
+}
+
+// persistedState is the snapshot payload: everything a restart needs,
+// equivalent to replaying the full record stream from the beginning.
+type persistedState struct {
+	Datasets   []persistedDataset   `json:"datasets,omitempty"`
+	Sessions   []persistedSession   `json:"sessions,omitempty"`
+	Tombstones map[string]time.Time `json:"tombstones,omitempty"`
+}
+
+func datasetEntity(name string) string { return "dataset/" + name }
+func sessionEntity(id string) string   { return "session/" + id }
+
+// kernelSpecFor inverts KernelSpec.Kernel for the built-in kernels. A custom
+// knn.Kernel implementation has no wire form, so datasets registered with
+// one (only possible through the Go API, never HTTP) stay in-memory.
+func kernelSpecFor(k knn.Kernel) (KernelSpec, bool) {
+	switch kk := k.(type) {
+	case knn.NegEuclidean:
+		return KernelSpec{Name: "neg-euclidean"}, true
+	case knn.NegSquaredEuclidean:
+		return KernelSpec{Name: "neg-sq-euclidean"}, true
+	case knn.NegManhattan:
+		return KernelSpec{Name: "neg-manhattan"}, true
+	case knn.Linear:
+		return KernelSpec{Name: "linear"}, true
+	case knn.Cosine:
+		return KernelSpec{Name: "cosine"}, true
+	case knn.RBF:
+		return KernelSpec{Name: "rbf", Gamma: kk.Gamma}, true
+	}
+	return KernelSpec{}, false
+}
+
+func (d *Dataset) persisted() persistedDataset {
+	examples := make([]exampleJSON, d.data.N())
+	for i := range d.data.Examples {
+		ex := &d.data.Examples[i]
+		examples[i] = exampleJSON{Candidates: ex.Candidates, Label: ex.Label}
+	}
+	spec, _ := kernelSpecFor(d.kernel)
+	return persistedDataset{
+		Name:        d.name,
+		Fingerprint: d.fingerprint,
+		NumLabels:   d.data.NumLabels,
+		Examples:    examples,
+		Kernel:      spec,
+		K:           d.k,
+	}
+}
+
+// journal owns the server's durable store plus the compaction policy. nil
+// journal (no DataDir) makes every hook below a no-op — today's in-memory
+// behavior.
+type journal struct {
+	store        *durable.Store
+	logf         func(format string, args ...interface{})
+	segmentBytes int64 // <= 0: never rotate
+
+	compactMu  sync.Mutex // at most one compaction in flight
+	compacting bool
+}
+
+func marshalRecord(entity, typ string, payload interface{}) (durable.Record, error) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return durable.Record{}, fmt.Errorf("%w: encoding %s record: %v", ErrPersist, typ, err)
+	}
+	return durable.Record{Entity: entity, Type: typ, Data: b}, nil
+}
+
+// appendSync journals one record with the group-commit durability class:
+// it returns only once the record is fsynced. Do not call it while holding
+// server/store locks — use appendWait there.
+func (j *journal) appendSync(entity, typ string, payload interface{}) error {
+	commit, err := j.appendWait(entity, typ, payload)
+	if err != nil {
+		return err
+	}
+	return commit()
+}
+
+// appendWait buffers one record immediately (safe — and intended — to call
+// while holding the lock that guards the matching state mutation, so log
+// order and snapshot consistency stay atomic) and returns the group-commit
+// wait, which the caller runs after releasing its locks. A commit error
+// means the record may not be durable and the store is poisoned.
+func (j *journal) appendWait(entity, typ string, payload interface{}) (commit func() error, err error) {
+	rec, err := marshalRecord(entity, typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	wait, err := j.store.AppendWait(rec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return func() error {
+		if werr := wait(); werr != nil {
+			return fmt.Errorf("%w: %v", ErrPersist, werr)
+		}
+		return nil
+	}, nil
+}
+
+// append journals one record asynchronously (durable within one fsync
+// window).
+func (j *journal) append(entity, typ string, payload interface{}) error {
+	rec, err := marshalRecord(entity, typ, payload)
+	if err != nil {
+		return err
+	}
+	if err := j.store.Append(rec); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}
+
+// maybeCompact rotates + snapshots in the background once the active
+// segment outgrows the threshold. state is the server's snapshotState.
+func (j *journal) maybeCompact(state func() ([]byte, error)) {
+	if j.segmentBytes <= 0 || j.store.ActiveSegmentBytes() < j.segmentBytes {
+		return
+	}
+	j.compactMu.Lock()
+	if j.compacting {
+		j.compactMu.Unlock()
+		return
+	}
+	j.compacting = true
+	j.compactMu.Unlock()
+	go func() {
+		defer func() {
+			j.compactMu.Lock()
+			j.compacting = false
+			j.compactMu.Unlock()
+		}()
+		if err := j.store.Compact(state); err != nil {
+			j.logf("serve: WAL compaction failed (will retry on further growth): %v", err)
+		}
+	}()
+}
+
+func (j *journal) close() {
+	if err := j.store.Close(); err != nil {
+		j.logf("serve: closing WAL: %v", err)
+	}
+}
+
+// --- Server-side journaling hooks (all nil-safe) ---
+
+// noopCommit is the commit for unjournaled operations.
+func noopCommit() error { return nil }
+
+// journalRegisterStart buffers the registration record; call it with s.mu
+// held, right after the map insert, and run the returned commit (the fsync
+// wait) after unlocking. Commit failure means the caller must roll the
+// registration back.
+func (s *Server) journalRegisterStart(ds *Dataset) (commit func() error, err error) {
+	if s.journal == nil || !ds.persistable {
+		return noopCommit, nil
+	}
+	wait, err := s.journal.appendWait(datasetEntity(ds.name), "register", ds.persisted())
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		if cerr := wait(); cerr != nil {
+			return cerr
+		}
+		s.journal.maybeCompact(s.snapshotState)
+		return nil
+	}, nil
+}
+
+// journalSessionCreateStart buffers the create record; call it with the
+// session-store lock held, right after the insert, and run the returned
+// commit after unlocking. Commit failure means the caller must roll the
+// creation back.
+func (s *Server) journalSessionCreateStart(sess *Session) (commit func() error, err error) {
+	if s.journal == nil || !sess.ds.persistable {
+		return noopCommit, nil
+	}
+	return s.journal.appendWait(sessionEntity(sess.id), "create", persistedSession{
+		ID:        sess.id,
+		Dataset:   sess.ds.name,
+		K:         sess.k,
+		Truth:     sess.req.Truth,
+		ValPoints: sess.req.ValPoints,
+		MaxSteps:  sess.req.MaxSteps,
+		Created:   sess.created,
+	})
+}
+
+func (s *Server) journalSessionStep(sess *Session, step CleanStep) error {
+	if s.journal == nil || !sess.ds.persistable {
+		return nil
+	}
+	if err := s.journal.append(sessionEntity(sess.id), "step", stepRecord{ID: sess.id, Step: step}); err != nil {
+		return err
+	}
+	s.journal.maybeCompact(s.snapshotState)
+	return nil
+}
+
+// journalSessionDone is best-effort: losing a done record only means the
+// restarted server re-finishes the run (identically) on its next drive.
+func (s *Server) journalSessionDone(sess *Session) {
+	if s.journal == nil || !sess.ds.persistable {
+		return
+	}
+	sess.mu.Lock()
+	rec := doneRecord{
+		ID:              sess.id,
+		Steps:           sess.snap.steps,
+		CertainFraction: sess.snap.certainFraction,
+		Worlds:          sess.snap.worlds,
+		Examined:        sess.snap.examined,
+	}
+	sess.mu.Unlock()
+	if err := s.journal.appendSync(sessionEntity(sess.id), "done", rec); err != nil {
+		s.logf("serve: journaling session %s completion: %v", sess.id, err)
+	}
+}
+
+// journalSessionFail is best-effort (it frequently runs because journaling
+// itself failed). Caller may hold sess.mu.
+func (s *Server) journalSessionFail(id, msg string) {
+	if s.journal == nil {
+		return
+	}
+	if err := s.journal.append(sessionEntity(id), "fail", failRecord{ID: id, Error: msg}); err != nil {
+		s.logf("serve: journaling session %s failure: %v", id, err)
+	}
+}
+
+// journalSessionExpire is best-effort: a lost expire record resurrects the
+// session after restart and the TTL simply evicts it again.
+func (s *Server) journalSessionExpire(sess *Session, at time.Time) {
+	if s.journal == nil || !sess.ds.persistable {
+		return
+	}
+	if err := s.journal.append(sessionEntity(sess.id), "expire", expireRecord{ID: sess.id, At: at}); err != nil {
+		s.logf("serve: journaling session %s expiry: %v", sess.id, err)
+	}
+}
+
+// journalSessionReleaseStart buffers the release record that keeps a
+// DELETEd ID a 404 (not a resurrected session) across restarts. Call it
+// before removing the session so a journal that cannot take the record
+// fails the DELETE instead of silently un-deleting it at the next restart;
+// run the returned commit after dropping the locks.
+func (s *Server) journalSessionReleaseStart(sess *Session) (commit func() error, err error) {
+	if s.journal == nil || !sess.ds.persistable {
+		return noopCommit, nil
+	}
+	return s.journal.appendWait(sessionEntity(sess.id), "release", releaseRecord{ID: sess.id})
+}
+
+// snapshotState serializes the full server state for WAL compaction. It
+// must include every record appended before the enclosing Compact sealed
+// the old segment — guaranteed because each journaling site updates the
+// in-memory structures before (or under the same lock as) its append.
+func (s *Server) snapshotState() ([]byte, error) {
+	var ps persistedState
+	s.mu.RLock()
+	for _, name := range s.namesLocked() {
+		ds := s.datasets[name]
+		if ds.persistable {
+			ps.Datasets = append(ps.Datasets, ds.persisted())
+		}
+	}
+	s.mu.RUnlock()
+
+	st := s.sessions
+	st.mu.Lock()
+	if st.stopped {
+		// Server.Close empties the live map (under this lock, after setting
+		// stopped); a snapshot taken now would capture that emptiness and a
+		// racing compaction would then delete the segments holding the real
+		// session records. Abort — Compact keeps the old segments on error.
+		st.mu.Unlock()
+		return nil, fmt.Errorf("serve: shutting down; snapshot aborted")
+	}
+	ids := make([]string, 0, len(st.live))
+	for id := range st.live {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		sess := st.live[id]
+		if !sess.ds.persistable {
+			continue
+		}
+		sess.mu.Lock()
+		p := persistedSession{
+			ID:      sess.id,
+			Dataset: sess.ds.name,
+			K:       sess.k,
+			Created: sess.created,
+			// History is append-only and its elements immutable, so the slice
+			// header captured here is safe to marshal after the locks drop.
+			History:         sess.history,
+			Done:            sess.snap.done,
+			CertainFraction: sess.snap.certainFraction,
+			Worlds:          sess.snap.worlds,
+			Examined:        sess.snap.examined,
+		}
+		if sess.failed != nil {
+			p.Failed = sess.failed.Error()
+		}
+		if !sess.snap.done && sess.failed == nil {
+			// Only a resumable session needs its request re-materialized.
+			p.Truth = sess.req.Truth
+			p.ValPoints = sess.req.ValPoints
+			p.MaxSteps = sess.req.MaxSteps
+		}
+		sess.mu.Unlock()
+		ps.Sessions = append(ps.Sessions, p)
+	}
+	if len(st.tombstones) > 0 {
+		ps.Tombstones = make(map[string]time.Time, len(st.tombstones))
+		for id, at := range st.tombstones {
+			ps.Tombstones[id] = at
+		}
+	}
+	st.mu.Unlock()
+	return json.Marshal(&ps)
+}
+
+// --- Recovery ---
+
+// recoverFrom rebuilds the registry and session store from a freshly opened
+// store. Individual unusable entries are dropped with a warning (recovery
+// must not be a startup crash); only a snapshot the server itself cannot
+// decode fails the open.
+func (s *Server) recoverFrom(st *durable.Store) error {
+	if b := st.Snapshot(); b != nil {
+		var ps persistedState
+		if err := json.Unmarshal(b, &ps); err != nil {
+			return fmt.Errorf("serve: undecodable snapshot in %s: %w", st.Dir(), err)
+		}
+		for _, pd := range ps.Datasets {
+			s.recoverDataset(pd)
+		}
+		for _, psess := range ps.Sessions {
+			s.recoverSession(psess)
+		}
+		for id, at := range ps.Tombstones {
+			s.sessions.tombstones[id] = at
+		}
+	}
+	for _, rec := range st.Records() {
+		s.applyRecord(rec)
+	}
+	return nil
+}
+
+// recoverDataset rebuilds one registration. Application is idempotent: an
+// already-present name with the same fingerprint is a no-op (snapshot/WAL
+// overlap after an interrupted compaction), a different fingerprint is
+// dropped with a warning.
+func (s *Server) recoverDataset(pd persistedDataset) {
+	if old, ok := s.datasets[pd.Name]; ok {
+		if old.fingerprint != pd.Fingerprint {
+			s.logf("serve: recovery: dropping conflicting re-registration of dataset %q", pd.Name)
+		}
+		return
+	}
+	examples := make([]dataset.Example, len(pd.Examples))
+	for i, ex := range pd.Examples {
+		examples[i] = dataset.Example{Candidates: ex.Candidates, Label: ex.Label}
+	}
+	d, err := dataset.New(examples, pd.NumLabels)
+	if err != nil {
+		s.logf("serve: recovery: dropping dataset %q: %v", pd.Name, err)
+		return
+	}
+	kernel, err := pd.Kernel.Kernel()
+	if err != nil {
+		s.logf("serve: recovery: dropping dataset %q: %v", pd.Name, err)
+		return
+	}
+	if got := Fingerprint(d, kernel, pd.K); got != pd.Fingerprint {
+		s.logf("serve: recovery: dropping dataset %q: fingerprint mismatch (journal %.12s, rebuilt %.12s)",
+			pd.Name, pd.Fingerprint, got)
+		return
+	}
+	s.datasets[pd.Name] = &Dataset{
+		name:        pd.Name,
+		fingerprint: pd.Fingerprint,
+		data:        d,
+		kernel:      kernel,
+		k:           pd.K,
+		pools:       make(map[int]*enginePool),
+		persistable: true,
+		ready:       closedReady, // the journal is where it came from
+	}
+}
+
+// closedReady marks registrations that were durable before this process
+// started (recovered datasets): idempotent re-registers need not wait.
+var closedReady = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// recoverSession re-materializes one session in the suspended state: request
+// + history only; engines and selection memos are rebuilt by the first
+// driver (ensureBuilt), which re-executes the history through the selector
+// so the continuation is bit-identical to an uninterrupted run.
+func (s *Server) recoverSession(ps persistedSession) {
+	ds, ok := s.datasets[ps.Dataset]
+	if !ok {
+		s.logf("serve: recovery: dropping session %s: dataset %q not recovered", ps.ID, ps.Dataset)
+		return
+	}
+	if _, exists := s.sessions.live[ps.ID]; exists {
+		return // snapshot/WAL overlap
+	}
+	if _, gone := s.sessions.tombstones[ps.ID]; gone {
+		return
+	}
+	sess := &Session{
+		id:       ps.ID,
+		store:    s.sessions,
+		server:   s,
+		ds:       ds,
+		k:        ps.K,
+		created:  ps.Created,
+		lastUsed: time.Now(), // the idle clock restarts at recovery, not at downtime start
+		history:  ps.History,
+	}
+	sess.snap.steps = len(ps.History)
+	var examined int64
+	for i := range ps.History {
+		examined += ps.History[i].ExaminedHypotheses
+	}
+	if n := len(ps.History); n > 0 {
+		sess.snap.certainFraction = ps.History[n-1].CertainFraction
+		sess.snap.worlds = ps.History[n-1].WorldsRemaining
+	}
+	sess.snap.examined = examined
+	switch {
+	case ps.Failed != "":
+		sess.failed = fmt.Errorf("%w: %s", ErrSessionFailed, ps.Failed)
+		sess.snap.started = true
+	case ps.Done:
+		sess.snap.done = true
+		sess.snap.started = true
+		sess.snap.certainFraction = ps.CertainFraction
+		sess.snap.worlds = ps.Worlds
+		if ps.Examined > 0 {
+			sess.snap.examined = ps.Examined
+		}
+	default:
+		sess.suspended = true
+		sess.req = CleanRequest{Truth: ps.Truth, ValPoints: ps.ValPoints, K: ps.K, MaxSteps: ps.MaxSteps}
+		if _, err := validateCleanRequest(ds, sess.req); err != nil {
+			s.logf("serve: recovery: dropping session %s: %v", ps.ID, err)
+			return
+		}
+	}
+	s.sessions.live[ps.ID] = sess
+}
+
+// applyRecord folds one WAL record into the recovering server. Tolerant and
+// idempotent: unknown sessions, duplicate events, and overlap with the
+// snapshot are warnings or no-ops, never startup failures.
+func (s *Server) applyRecord(rec durable.Record) {
+	fail := func(err error) {
+		s.logf("serve: recovery: skipping %s record for %s: %v", rec.Type, rec.Entity, err)
+	}
+	switch rec.Type {
+	case "register":
+		var pd persistedDataset
+		if err := json.Unmarshal(rec.Data, &pd); err != nil {
+			fail(err)
+			return
+		}
+		s.recoverDataset(pd)
+	case "create":
+		var ps persistedSession
+		if err := json.Unmarshal(rec.Data, &ps); err != nil {
+			fail(err)
+			return
+		}
+		s.recoverSession(ps)
+	case "step":
+		var sr stepRecord
+		if err := json.Unmarshal(rec.Data, &sr); err != nil {
+			fail(err)
+			return
+		}
+		sess, ok := s.sessions.live[sr.ID]
+		if !ok {
+			return // released/expired later in the log, or dropped above
+		}
+		switch {
+		case sr.Step.Step <= len(sess.history):
+			// Snapshot/WAL overlap; already have it.
+		case sr.Step.Step == len(sess.history)+1:
+			sess.history = append(sess.history, sr.Step)
+			sess.snap.steps = len(sess.history)
+			sess.snap.certainFraction = sr.Step.CertainFraction
+			sess.snap.worlds = sr.Step.WorldsRemaining
+			sess.snap.examined += sr.Step.ExaminedHypotheses
+		default:
+			fail(fmt.Errorf("step %d after %d journaled steps", sr.Step.Step, len(sess.history)))
+		}
+	case "done":
+		var dr doneRecord
+		if err := json.Unmarshal(rec.Data, &dr); err != nil {
+			fail(err)
+			return
+		}
+		if sess, ok := s.sessions.live[dr.ID]; ok {
+			sess.snap.done = true
+			sess.snap.started = true
+			sess.suspended = false
+			sess.snap.certainFraction = dr.CertainFraction
+			sess.snap.worlds = dr.Worlds
+			if dr.Examined > 0 {
+				sess.snap.examined = dr.Examined
+			}
+			sess.req = CleanRequest{}
+		}
+	case "fail":
+		var fr failRecord
+		if err := json.Unmarshal(rec.Data, &fr); err != nil {
+			fail(err)
+			return
+		}
+		if sess, ok := s.sessions.live[fr.ID]; ok {
+			sess.failed = fmt.Errorf("%w: %s", ErrSessionFailed, fr.Error)
+			sess.snap.started = true
+			sess.suspended = false
+			sess.req = CleanRequest{}
+		}
+	case "expire":
+		var er expireRecord
+		if err := json.Unmarshal(rec.Data, &er); err != nil {
+			fail(err)
+			return
+		}
+		delete(s.sessions.live, er.ID)
+		at := er.At
+		if at.IsZero() {
+			at = time.Now()
+		}
+		s.sessions.tombstones[er.ID] = at
+	case "release":
+		var rr releaseRecord
+		if err := json.Unmarshal(rec.Data, &rr); err != nil {
+			fail(err)
+			return
+		}
+		delete(s.sessions.live, rr.ID)
+		delete(s.sessions.tombstones, rr.ID)
+	default:
+		s.logf("serve: recovery: ignoring unknown record type %q for %s", rec.Type, rec.Entity)
+	}
+}

@@ -138,6 +138,10 @@ func decodeStatus(err error) int {
 //	POST   /v1/clean/{id}/next?steps=N  execute up to N steps (resumable pull)
 //	GET    /v1/clean/{id}/stream?from=K replay steps after K, then stream live NDJSON
 //	DELETE /v1/clean/{id}               release the session
+//
+// Every route answers 503 once the server is closed (cpserve additionally
+// serves 503 at the listener while Open is still replaying the data
+// directory, before any Server exists to build a Handler around).
 func Handler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/datasets", func(w http.ResponseWriter, r *http.Request) {
@@ -321,7 +325,13 @@ func Handler(s *Server) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := s.availErr(); err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
@@ -341,7 +351,9 @@ func httpError(w http.ResponseWriter, code int, err error) {
 // errStatus maps server errors to HTTP status codes: unknown dataset or
 // session → 404, expired session → 410, session at capacity → 429, busy
 // session or conflicting registration → 409, a session killed by a
-// server-side step error → 500, anything else (validation) → 400.
+// server-side step error or a write the durable journal rejected → 500,
+// server outside its serving window (replaying at startup, or shut down)
+// → 503, anything else (validation) → 400.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
@@ -352,8 +364,10 @@ func errStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrCapacity):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrSessionFailed):
+	case errors.Is(err, ErrSessionFailed), errors.Is(err, ErrPersist):
 		return http.StatusInternalServerError
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

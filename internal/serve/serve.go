@@ -1,22 +1,3 @@
-// Package serve is the concurrent batch CP-query serving layer: it owns
-// registered incomplete datasets and answers Q1/Q2/entropy queries for many
-// test points per request, amortizing the expensive per-test-point state
-// (engine construction, Scratch segment trees) across queries instead of
-// rebuilding it per call the way the one-shot core API does.
-//
-// Three pooling levers, in decreasing order of savings:
-//
-//   - Scratches (O(N·K) segment trees) are pooled per (dataset, K) via
-//     core.ScratchPool — every engine of one dataset has the same shape, so
-//     one free list serves every worker and every test point.
-//   - Engines (O(NM log NM) candidate sort) are cached per (dataset, K) in
-//     an LRU keyed by test point, so repeated queries for hot points skip
-//     construction entirely. Engines are immutable while serving batch
-//     queries (pins are only used by cleaning sessions, which own private
-//     engines), so one cached engine safely serves many goroutines, each
-//     with its own pooled Scratch.
-//   - Batch requests fan out across a bounded worker pool mirroring
-//     cleaning.Options.Parallelism.
 package serve
 
 import (
@@ -24,13 +5,16 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/durable"
 	"repro/internal/knn"
 )
 
@@ -62,6 +46,20 @@ var ErrCapacity = errors.New("serve: session capacity reached")
 // The HTTP layer maps it to 500 — the client did nothing wrong.
 var ErrSessionFailed = errors.New("serve: session failed")
 
+// ErrUnavailable marks a request that reached the server outside its serving
+// window: while it is still replaying its data directory at startup, or
+// after Close. The HTTP layer maps it to 503 — retry, don't fix the request.
+var ErrUnavailable = errors.New("serve: temporarily unavailable")
+
+// ErrPersist marks a write the durable journal could not confirm. The
+// operation is rolled back in memory and reported failed; note that a
+// failed fsync cannot prove the record's absence from disk, so after a
+// crash the rolled-back change may still replay. The log poisons itself on
+// the first such failure — every later durable operation fails loudly — so
+// this is a degraded-durability signal for the operator, not a state the
+// server keeps running through silently. The HTTP layer maps it to 500.
+var ErrPersist = errors.New("serve: persistence failure")
+
 // Config tunes the server.
 type Config struct {
 	// Parallelism bounds worker goroutines per batch request (0 = GOMAXPROCS).
@@ -84,6 +82,24 @@ type Config struct {
 	// MaxQueryBytes caps query and clean-start request bodies
 	// (0 = DefaultMaxQueryBytes, negative = unlimited).
 	MaxQueryBytes int64
+	// DataDir enables crash-safe persistence: dataset registrations and
+	// every clean-session event are journaled to an append-only WAL (plus
+	// periodic snapshots) under this directory and replayed by Open after a
+	// restart. Empty = purely in-memory, exactly the pre-durability
+	// behavior. Run one server process per data directory.
+	DataDir string
+	// WALSegmentBytes rotates and compacts the WAL (sealing the segment,
+	// snapshotting full state, deleting superseded files) once the active
+	// segment exceeds this size (0 = DefaultWALSegmentBytes, negative =
+	// never compact).
+	WALSegmentBytes int64
+	// WALSyncInterval is the group-commit window: acknowledged writes are
+	// fsynced at least this often, and many writers share each fsync
+	// (0 = durable.DefaultSyncInterval, negative = fsync on every append).
+	WALSyncInterval time.Duration
+	// Logf receives recovery and background-maintenance warnings
+	// (nil = log.Printf).
+	Logf func(format string, args ...interface{})
 }
 
 // DefaultEngineCacheSize is the engine LRU capacity used when
@@ -98,6 +114,10 @@ const (
 	DefaultMaxRegisterBytes = 32 << 20 // datasets are the big payload
 	DefaultMaxQueryBytes    = 8 << 20  // points/truth are much smaller
 )
+
+// DefaultWALSegmentBytes is the WAL rotation/compaction threshold used when
+// Config.WALSegmentBytes is zero.
+const DefaultWALSegmentBytes = 8 << 20
 
 func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
@@ -121,35 +141,120 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryBytes == 0 {
 		c.MaxQueryBytes = DefaultMaxQueryBytes
 	}
+	if c.WALSegmentBytes == 0 {
+		c.WALSegmentBytes = DefaultWALSegmentBytes
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
+
+// Server lifecycle states (Server.state). A closed server answers every
+// request with ErrUnavailable (HTTP 503); cpserve additionally serves 503
+// at the listener while Open is still replaying the data directory, before
+// any *Server exists to ask.
+const (
+	stateReady int32 = iota
+	stateClosed
+)
 
 // Server is a registry of datasets plus the query machinery over them. All
 // methods are safe for concurrent use.
 type Server struct {
-	cfg Config
+	cfg  Config
+	logf func(format string, args ...interface{})
 
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
 
 	sessions *sessionStore
+
+	journal *journal // nil when Config.DataDir is empty
+	state   atomic.Int32
 }
 
-// NewServer builds an empty server.
+// NewServer builds an empty in-memory server: Config.DataDir is ignored and
+// nothing survives the process. Use Open for a durable server.
 func NewServer(cfg Config) *Server {
+	cfg.DataDir = ""
+	s, err := Open(cfg)
+	if err != nil {
+		// Open without a data directory touches no I/O and cannot fail.
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a server and, when cfg.DataDir is set, recovers it from the
+// directory's snapshot + WAL before marking it ready: registered datasets
+// come back verbatim (fingerprint-verified), unfinished clean sessions come
+// back suspended — request and executed-step history only; their engines
+// are rebuilt by the first driver — and expiry tombstones and releases are
+// honored, so session IDs keep answering 410/404 truthfully across the
+// restart. A torn WAL tail (crash mid-write) is truncated with a warning,
+// never a startup failure.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
+		logf:     cfg.Logf,
 		datasets: make(map[string]*Dataset),
 		sessions: newSessionStore(cfg.MaxCleanSessions, cfg.SessionTTL),
 	}
+	if cfg.DataDir == "" {
+		s.state.Store(stateReady)
+		return s, nil
+	}
+	st, err := durable.Open(cfg.DataDir, durable.Options{
+		SyncInterval: cfg.WALSyncInterval,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := s.recoverFrom(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	// The recovered snapshot/record buffers are folded into the registry and
+	// session store now; drop them instead of pinning them for the process
+	// lifetime.
+	st.ReleaseRecovered()
+	s.journal = &journal{store: st, logf: cfg.Logf, segmentBytes: cfg.WALSegmentBytes}
+	s.sessions.maybeStartReaper()
+	s.state.Store(stateReady)
+	return s, nil
 }
 
-// Close stops the session reaper and releases every live clean session.
-// Safe to call more than once; call it when discarding the server (e.g. on
-// process shutdown) so session resources return to the pools promptly.
+// availErr reports why the server cannot serve right now (nil when it can).
+func (s *Server) availErr() error {
+	if s.state.Load() == stateReady {
+		return nil
+	}
+	return fmt.Errorf("%w: server is shut down", ErrUnavailable)
+}
+
+// Close stops the session reaper, releases every live clean session, and —
+// for a durable server — flushes and fsyncs the WAL before closing it, so a
+// graceful shutdown (e.g. SIGTERM) loses nothing, not even records still in
+// the group-commit window. Safe to call more than once; afterwards every
+// request answers ErrUnavailable (HTTP 503).
 func (s *Server) Close() {
+	s.state.Store(stateClosed)
 	s.sessions.close()
+	if s.journal != nil {
+		s.journal.close()
+	}
+}
+
+// RecoveredCounts reports what a durable Open found: registered datasets and
+// live (including suspended) clean sessions. Handy for startup logging.
+func (s *Server) RecoveredCounts() (datasets, sessions int) {
+	s.mu.RLock()
+	datasets = len(s.datasets)
+	s.mu.RUnlock()
+	return datasets, s.CleanSessionCount()
 }
 
 // Dataset is one registered incomplete dataset with its serving state.
@@ -159,6 +264,17 @@ type Dataset struct {
 	data        *dataset.Incomplete
 	kernel      knn.Kernel
 	k           int // default K for queries against this dataset
+	// persistable marks a dataset whose kernel has a wire form (every
+	// built-in kernel; custom Go implementations do not), so it and its
+	// sessions can be journaled. Always true for HTTP registrations.
+	persistable bool
+	// ready is closed once the registration is durable (immediately for
+	// in-memory/recovered datasets); registerErr is set first if the WAL
+	// commit failed and the registration was rolled back. A concurrent
+	// idempotent Register of the same content waits on it, so no caller is
+	// ever told "registered" before the registration would survive a crash.
+	ready       chan struct{}
+	registerErr error
 
 	mu    sync.Mutex
 	pools map[int]*enginePool // by K
@@ -190,24 +306,66 @@ func (s *Server) Register(name string, d *dataset.Incomplete, kernel knn.Kernel,
 	if k > d.N() {
 		return nil, fmt.Errorf("serve: K=%d out of range for N=%d", k, d.N())
 	}
+	_, persistable := kernelSpecFor(kernel)
 	ds := &Dataset{
 		name:        name,
 		fingerprint: Fingerprint(d, kernel, k),
 		data:        d,
 		kernel:      kernel,
 		k:           k,
+		persistable: persistable,
 		pools:       make(map[int]*enginePool),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if old, ok := s.datasets[name]; ok {
-		if old.fingerprint == ds.fingerprint {
+	for {
+		s.mu.Lock()
+		if old, ok := s.datasets[name]; ok {
+			s.mu.Unlock()
+			if old.fingerprint != ds.fingerprint {
+				return nil, fmt.Errorf("%w: dataset %q already registered with a different fingerprint", ErrConflict, name)
+			}
+			// Idempotent hit — but "registered" must mean durable, so wait for
+			// the original registration's WAL commit rather than acknowledging
+			// state a crash could still lose. If that commit failed and rolled
+			// back, retry the registration ourselves.
+			<-old.ready
+			if old.registerErr != nil {
+				continue
+			}
 			return old, nil
 		}
-		return nil, fmt.Errorf("%w: dataset %q already registered with a different fingerprint", ErrConflict, name)
+		if s.journal != nil && !persistable {
+			s.logf("serve: dataset %q uses a custom kernel with no wire form; it and its sessions will not survive a restart", name)
+		}
+		ds.ready = make(chan struct{})
+		s.datasets[name] = ds
+		// Buffer the journal record under the lock so a concurrent snapshot can
+		// never capture a registry state the log is missing; pay the fsync wait
+		// (commit) after unlocking so registrations don't stall every lookup
+		// for a group-commit window. A registration the WAL cannot record must
+		// not exist: it would silently vanish on restart while its sessions'
+		// records survive — so a failed commit rolls the insert back.
+		commit, err := s.journalRegisterStart(ds)
+		if err != nil {
+			delete(s.datasets, name)
+			ds.registerErr = err
+			close(ds.ready)
+			s.mu.Unlock()
+			return nil, err
+		}
+		s.mu.Unlock()
+		if err := commit(); err != nil {
+			s.mu.Lock()
+			if cur, ok := s.datasets[name]; ok && cur == ds {
+				delete(s.datasets, name)
+			}
+			ds.registerErr = err
+			close(ds.ready)
+			s.mu.Unlock()
+			return nil, err
+		}
+		close(ds.ready)
+		return ds, nil
 	}
-	s.datasets[name] = ds
-	return ds, nil
 }
 
 // Dataset looks up a registered dataset by name.
@@ -225,6 +383,11 @@ func (s *Server) Dataset(name string) (*Dataset, error) {
 func (s *Server) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.namesLocked()
+}
+
+// namesLocked is Names with s.mu already held (either mode).
+func (s *Server) namesLocked() []string {
 	out := make([]string, 0, len(s.datasets))
 	for n := range s.datasets {
 		out = append(out, n)

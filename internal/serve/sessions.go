@@ -70,10 +70,17 @@ type Session struct {
 	driving        bool
 	closed         bool
 	closeOnRelease bool
-	failed         error
-	clean          *CleanSession // nil until the first driver builds it
-	history        []CleanStep   // every executed step, in order
-	snap           sessionSnap
+	// suspended marks a session re-materialized from the durable journal
+	// after a restart: it holds only its request and executed-step history.
+	// The first driver rebuilds the engines and re-executes the history
+	// through the selection engine (verifying each step against the
+	// journal), after which the run continues bit-identically to one that
+	// was never interrupted.
+	suspended bool
+	failed    error
+	clean     *CleanSession // nil until the first driver builds it
+	history   []CleanStep   // every executed step, in order
+	snap      sessionSnap
 }
 
 // sessionSnap caches the summary fields a driver refreshes after every step
@@ -91,7 +98,9 @@ type sessionSnap struct {
 type SessionStatus struct {
 	ID      string `json:"id"`
 	Dataset string `json:"dataset"`
-	// State is pending (created, no step yet), running, done, or failed.
+	// State is pending (created, no step yet), running, suspended
+	// (re-materialized from the durable journal after a restart; the next
+	// driver rebuilds its engines and continues), done, or failed.
 	State string `json:"state"`
 	// Busy reports whether a driver (/next or /stream) is attached right now.
 	Busy bool `json:"busy"`
@@ -118,6 +127,9 @@ func newSessionID() string {
 // MaxCleanSessions cap, and returns the addressable session immediately —
 // the expensive engine construction is deferred to the first driver.
 func (s *Server) StartCleanSession(name string, req CleanRequest) (*Session, error) {
+	if err := s.availErr(); err != nil {
+		return nil, err
+	}
 	ds, err := s.Dataset(name)
 	if err != nil {
 		return nil, err
@@ -163,9 +175,9 @@ func (s *Server) CleanSessionCount() int {
 func (st *sessionStore) create(srv *Server, ds *Dataset, k int, req CleanRequest) (*Session, error) {
 	now := time.Now()
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.stopped {
-		return nil, fmt.Errorf("serve: server is shut down")
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: server is shut down", ErrUnavailable)
 	}
 	if st.max >= 0 && len(st.live) >= st.max {
 		// Sweep before refusing: slots held by sessions already past the idle
@@ -177,7 +189,9 @@ func (st *sessionStore) create(srv *Server, ds *Dataset, k int, req CleanRequest
 		}
 	}
 	if st.max >= 0 && len(st.live) >= st.max {
-		return nil, fmt.Errorf("%w (%d live)", ErrCapacity, len(st.live))
+		n := len(st.live)
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w (%d live)", ErrCapacity, n)
 	}
 	sess := &Session{
 		id:       newSessionID(),
@@ -190,10 +204,51 @@ func (st *sessionStore) create(srv *Server, ds *Dataset, k int, req CleanRequest
 		lastUsed: now,
 	}
 	st.live[sess.id] = sess
+	// Buffer the create record under st.mu so a concurrent WAL compaction
+	// can never snapshot a store state whose records the log is missing; the
+	// fsync wait (commit) happens after unlock so creations don't stall
+	// every session lookup for a group-commit window. The 201 the client
+	// receives is durable once commit returns.
+	commit, err := srv.journalSessionCreateStart(sess)
+	if err != nil {
+		delete(st.live, sess.id)
+		st.mu.Unlock()
+		return nil, err
+	}
 	if st.ttl > 0 {
 		st.reaperOnce.Do(func() { go st.reaperLoop() })
 	}
+	st.mu.Unlock()
+	if err := commit(); err != nil {
+		// The record may not be durable (poisoned store): roll the creation
+		// back. A driver can only have attached in this window if it raced
+		// the failed create's caller, so closeOnRelease covers it.
+		st.mu.Lock()
+		if cur, ok := st.live[sess.id]; ok && cur == sess {
+			sess.mu.Lock()
+			if sess.driving {
+				sess.closeOnRelease = true
+			} else {
+				sess.closeLocked()
+			}
+			sess.mu.Unlock()
+			delete(st.live, sess.id)
+		}
+		st.mu.Unlock()
+		return nil, err
+	}
 	return sess, nil
+}
+
+// maybeStartReaper starts the TTL reaper if recovery re-materialized
+// sessions (create starts it lazily otherwise, but recovered sessions may
+// never see another create).
+func (st *sessionStore) maybeStartReaper() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.ttl > 0 && len(st.live) > 0 && !st.stopped {
+		st.reaperOnce.Do(func() { go st.reaperLoop() })
+	}
 }
 
 func (st *sessionStore) get(id string) (*Session, error) {
@@ -214,10 +269,11 @@ func (st *sessionStore) get(id string) (*Session, error) {
 
 func (st *sessionStore) release(id string) error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	sess, ok := st.live[id]
 	if !ok {
-		if _, gone := st.tombstones[id]; gone {
+		_, gone := st.tombstones[id]
+		st.mu.Unlock()
+		if gone {
 			return fmt.Errorf("%w: clean session %q", ErrGone, id)
 		}
 		return fmt.Errorf("%w: unknown clean session %q", ErrNotFound, id)
@@ -225,12 +281,27 @@ func (st *sessionStore) release(id string) error {
 	sess.mu.Lock()
 	if sess.driving {
 		sess.mu.Unlock()
+		st.mu.Unlock()
 		return fmt.Errorf("%w: session %q has a driver attached", ErrBusy, id)
+	}
+	// Buffer the release record — what keeps a deliberate DELETE a 404 (not
+	// a resurrected session) after a restart — before touching anything, so
+	// a journal that cannot take it fails the DELETE with the session intact
+	// instead of acknowledging a deletion the next restart undoes.
+	commit, err := sess.server.journalSessionReleaseStart(sess)
+	if err != nil {
+		sess.mu.Unlock()
+		st.mu.Unlock()
+		return err
 	}
 	sess.closeLocked()
 	sess.mu.Unlock()
 	delete(st.live, id)
-	return nil
+	st.mu.Unlock()
+	// A commit (fsync) failure poisons the store: report it — the in-memory
+	// delete stands, a retried DELETE answers 404, and every later durable
+	// operation fails loudly, so the operator knows durability is gone.
+	return commit()
 }
 
 // expireLocked evicts sess if it has been idle past the TTL. Caller holds
@@ -247,6 +318,9 @@ func (st *sessionStore) expireLocked(sess *Session, now time.Time) bool {
 	sess.closeLocked()
 	delete(st.live, sess.id)
 	st.tombstones[sess.id] = now
+	// Journaling the tombstone keeps the expired ID answering 410 (not a
+	// resurrected session) after a restart.
+	sess.server.journalSessionExpire(sess, now)
 	return true
 }
 
@@ -367,15 +441,28 @@ func (sess *Session) releaseDriver() {
 // ensureBuilt constructs the CleanSession on first drive. Runs outside
 // sess.mu (construction is expensive) but inside the driver slot, so no
 // other goroutine can observe a half-built session.
+//
+// For a suspended session (re-materialized from the journal after a
+// restart) it additionally re-executes the journaled step history through
+// the freshly built selection engine, verifying each re-executed step —
+// row, candidate, examined_hypotheses — against the journal. Because the
+// step function is deterministic, this leaves the engines, pins, and
+// selector memos in exactly the state an uninterrupted run would have, so
+// every remaining step is bit-identical; a divergence means the data
+// directory does not match the process (or a determinism bug) and fails the
+// session rather than silently continuing from inconsistent state.
 func (sess *Session) ensureBuilt() (*CleanSession, error) {
 	sess.mu.Lock()
 	c := sess.clean
 	started := sess.snap.started
+	suspended := sess.suspended
+	// history is append-only and this goroutine holds the only driver slot.
+	prefix := sess.history
 	sess.mu.Unlock()
 	if c != nil {
 		return c, nil
 	}
-	if started {
+	if started && !suspended {
 		// Built once and released since — done and failed sessions drop their
 		// CleanSession, and drive returns before reaching here for both.
 		return nil, fmt.Errorf("serve: internal: clean session %q has no live engine state", sess.id)
@@ -386,15 +473,44 @@ func (sess *Session) ensureBuilt() (*CleanSession, error) {
 		// server-side fault — same 500 contract as a step failure.
 		return nil, sess.setFailed(err)
 	}
+	if suspended {
+		for i := range prefix {
+			want := &prefix[i]
+			step, ok, err := c.Step()
+			if err != nil {
+				c.Close()
+				return nil, sess.setFailed(fmt.Errorf("replaying journaled step %d: %w", i+1, err))
+			}
+			if !ok {
+				c.Close()
+				return nil, sess.setFailed(fmt.Errorf(
+					"journal has %d steps but the rebuilt run finished after %d", len(prefix), i))
+			}
+			if step.Row != want.Row || step.Candidate != want.Candidate ||
+				step.ExaminedHypotheses != want.ExaminedHypotheses {
+				c.Close()
+				return nil, sess.setFailed(fmt.Errorf(
+					"recovery diverged from the journal at step %d: re-executed (row %d, candidate %d, examined %d), journal has (row %d, candidate %d, examined %d)",
+					i+1, step.Row, step.Candidate, step.ExaminedHypotheses,
+					want.Row, want.Candidate, want.ExaminedHypotheses))
+			}
+		}
+	}
 	sess.mu.Lock()
 	sess.clean = c
+	sess.suspended = false
 	sess.snap.started = true
+	sess.snap.steps = c.Steps()
 	sess.snap.certainFraction = c.CertainFraction()
 	sess.snap.worlds = c.WorldsRemaining().String()
-	// The request was only ever needed for this build; drop the copied
-	// Truth/ValPoints so a finished session really does hold just history +
-	// snapshot.
-	sess.req = CleanRequest{}
+	sess.snap.examined = c.ExaminedHypotheses()
+	if sess.server.journal == nil || !sess.ds.persistable {
+		// The request was only ever needed for this build; drop the copied
+		// Truth/ValPoints so a finished session really does hold just history
+		// + snapshot. A journaled session keeps them: WAL compaction snapshots
+		// must be able to re-materialize the run after the next restart.
+		sess.req = CleanRequest{}
+	}
 	sess.mu.Unlock()
 	return c, nil
 }
@@ -424,6 +540,7 @@ func (sess *Session) markDone(c *CleanSession) {
 	sess.snap.certainFraction = c.CertainFraction()
 	sess.snap.worlds = c.WorldsRemaining().String()
 	sess.snap.examined = c.ExaminedHypotheses()
+	sess.req = CleanRequest{} // a finished run is never re-materialized
 	c.Close()
 	sess.clean = nil
 }
@@ -434,13 +551,18 @@ func (sess *Session) markDone(c *CleanSession) {
 // so the failing driver reports the same 500 every later driver will see.
 func (sess *Session) setFailed(err error) error {
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	sess.failed = fmt.Errorf("%w: %v", ErrSessionFailed, err)
+	sess.suspended = false
+	sess.req = CleanRequest{}
 	if sess.clean != nil {
 		sess.clean.Close()
 		sess.clean = nil
 	}
-	return sess.failed
+	failed := sess.failed
+	sess.mu.Unlock()
+	// Best-effort: when journaling itself is what failed this only logs.
+	sess.server.journalSessionFail(sess.id, err.Error())
+	return failed
 }
 
 // DriveFrom attaches as the session's driver (ErrBusy if one is attached),
@@ -504,9 +626,17 @@ func (sess *Session) drive(from int, fn func(CleanStep) bool) (done bool, err er
 		}
 		if !ok {
 			sess.markDone(c)
+			sess.server.journalSessionDone(sess)
 			return true, nil
 		}
 		sess.record(c, step)
+		// Journaled asynchronously (group commit): a crash can lose the
+		// freshest steps, and recovery re-executes them identically. A WAL
+		// that cannot accept the record at all fails the session — continuing
+		// would silently break the durability contract.
+		if jerr := sess.server.journalSessionStep(sess, step); jerr != nil {
+			return false, sess.setFailed(jerr)
+		}
 		if !fn(step) {
 			return false, nil
 		}
@@ -551,6 +681,8 @@ func (sess *Session) Status() SessionStatus {
 		st.Error = sess.failed.Error()
 	case sess.snap.done:
 		st.State = "done"
+	case sess.suspended:
+		st.State = "suspended"
 	case !sess.snap.started:
 		st.State = "pending"
 	default:

@@ -1,0 +1,240 @@
+// Command docverify keeps documentation honest: it extracts every ```go
+// code fence from the given markdown files, turns each into a compilable
+// source file against the current module, and fails if any snippet no
+// longer builds — so README/ARCHITECTURE examples cannot silently rot as
+// the API moves.
+//
+// Usage (from the module root, as `make verify-docs` does):
+//
+//	go run ./internal/tools/docverify README.md docs/ARCHITECTURE.md
+//
+// Snippet handling:
+//
+//   - A fence containing a `package` clause is compiled verbatim in its own
+//     package directory.
+//   - Any other fence is treated as statements: wrapped in a throwaway
+//     function in a `docsnippets` package, with imports added by scanning
+//     for well-known qualifiers (repro., fmt., time., ...) and a trailing
+//     `_ = x` appended for every top-level declared name so illustrative
+//     declarations don't trip "declared and not used". If statement
+//     wrapping does not parse, the snippet is retried as package-level
+//     declarations.
+//   - A fence immediately preceded by `<!-- docverify:skip -->` is skipped
+//     (for deliberately partial pseudo-code; prefer a ```text fence).
+//
+// Fences in other languages (sh, text, json) are ignored. Generated files
+// land in a `.docverify-*` temp directory inside the module (deleted
+// afterwards) so the module's own `go.mod` governs the build.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+type snippet struct {
+	file string // markdown source
+	line int    // 1-based line of the opening fence
+	body string
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docverify FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	var snippets []snippet
+	for _, path := range os.Args[1:] {
+		got, err := extract(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docverify: %v\n", err)
+			os.Exit(1)
+		}
+		snippets = append(snippets, got...)
+	}
+	if len(snippets) == 0 {
+		fmt.Println("docverify: no ```go fences found; nothing to check")
+		return
+	}
+	tmp, err := os.MkdirTemp(".", ".docverify-")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docverify: %v\n", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+
+	failed := false
+	for i, sn := range snippets {
+		if err := check(tmp, i, sn); err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "docverify: %s:%d: snippet does not build:\n%v\n", sn.file, sn.line, err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("docverify: %d snippet(s) build cleanly\n", len(snippets))
+}
+
+// extract pulls ```go fences out of one markdown file.
+func extract(path string) ([]snippet, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(string(b), "\n")
+	var out []snippet
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		if i > 0 && strings.Contains(lines[i-1], "docverify:skip") {
+			for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			}
+			continue
+		}
+		start := i + 1
+		var body []string
+		for i++; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		if i == len(lines) {
+			return nil, fmt.Errorf("%s:%d: unterminated ```go fence", path, start)
+		}
+		out = append(out, snippet{file: path, line: start, body: strings.Join(body, "\n")})
+	}
+	return out, nil
+}
+
+// knownImports maps a qualifier regex to the import line it implies.
+var knownImports = []struct {
+	re   *regexp.Regexp
+	path string
+}{
+	{regexp.MustCompile(`\brepro\.`), `repro "repro"`},
+	{regexp.MustCompile(`\bserve\.`), `serve "repro/internal/serve"`},
+	{regexp.MustCompile(`\bdurable\.`), `durable "repro/internal/durable"`},
+	{regexp.MustCompile(`\bfmt\.`), `"fmt"`},
+	{regexp.MustCompile(`\berrors\.`), `"errors"`},
+	{regexp.MustCompile(`\btime\.`), `"time"`},
+	{regexp.MustCompile(`\bmath\.`), `"math"`},
+	{regexp.MustCompile(`\bstrings\.`), `"strings"`},
+	{regexp.MustCompile(`\bos\.`), `"os"`},
+	{regexp.MustCompile(`\blog\.`), `"log"`},
+	{regexp.MustCompile(`\bcontext\.`), `"context"`},
+	{regexp.MustCompile(`\bjson\.`), `"encoding/json"`},
+	{regexp.MustCompile(`\bhttp\.`), `"net/http"`},
+}
+
+func importsFor(body string) string {
+	var imps []string
+	for _, ki := range knownImports {
+		if ki.re.MatchString(body) {
+			imps = append(imps, "\t"+ki.path)
+		}
+	}
+	if len(imps) == 0 {
+		return ""
+	}
+	return "import (\n" + strings.Join(imps, "\n") + "\n)\n\n"
+}
+
+// check materializes one snippet as Go source in its own package directory
+// under tmp and builds it.
+func check(tmp string, idx int, sn snippet) error {
+	dir := filepath.Join(tmp, fmt.Sprintf("s%03d", idx))
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		return err
+	}
+	var src string
+	switch {
+	case regexp.MustCompile(`(?m)^package\s+\w+`).MatchString(sn.body):
+		src = sn.body
+	default:
+		wrapped, err := wrapStatements(idx, sn.body)
+		if err != nil {
+			// Maybe the fence holds package-level declarations (func/type/...)
+			// rather than statements.
+			declSrc := fmt.Sprintf("package docsnippets\n\n%s%s\n", importsFor(sn.body), sn.body)
+			if _, derr := parser.ParseFile(token.NewFileSet(), "snippet.go", declSrc, 0); derr != nil {
+				return err // report the statement-wrap error: it's the common case
+			}
+			src = declSrc
+			break
+		}
+		src = wrapped
+	}
+	path := filepath.Join(dir, "snippet.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		return err
+	}
+	cmd := exec.Command("go", "build", "./"+filepath.ToSlash(dir))
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%s\n--- generated source ---\n%s", out, src)
+	}
+	return nil
+}
+
+// wrapStatements turns a statement fence into a package with one throwaway
+// function, appending `_ = name` for every name the snippet declares at the
+// top level of the function so illustrative bindings compile.
+func wrapStatements(idx int, body string) (string, error) {
+	header := "package docsnippets\n\n" + importsFor(body)
+	src := fmt.Sprintf("%sfunc snippet%d() {\n%s\n}\n", header, idx, body)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		return "", fmt.Errorf("as statements: %w", err)
+	}
+	var uses []string
+	seen := map[string]bool{}
+	add := func(id *ast.Ident) {
+		if id.Name != "_" && !seen[id.Name] {
+			seen[id.Name] = true
+			uses = append(uses, "\t_ = "+id.Name)
+		}
+	}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		for _, stmt := range fn.Body.List {
+			switch st := stmt.(type) {
+			case *ast.AssignStmt:
+				if st.Tok == token.DEFINE {
+					for _, lhs := range st.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							add(id)
+						}
+					}
+				}
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								add(id)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(uses) == 0 {
+		return src, nil
+	}
+	return fmt.Sprintf("%sfunc snippet%d() {\n%s\n%s\n}\n", header, idx, body, strings.Join(uses, "\n")), nil
+}
