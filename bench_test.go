@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -254,7 +255,7 @@ func benchServeBatch(b *testing.B, batch int, hot bool) {
 		if !hot {
 			pts = batches[i%distinct]
 		}
-		if _, err := s.BatchQuery("bench", serve.BatchRequest{Points: pts}); err != nil {
+		if _, err := s.BatchQuery(context.Background(), "bench", serve.BatchRequest{Points: pts}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -308,6 +309,51 @@ func BenchmarkScratch_Pooled_N1000(b *testing.B) {
 		pool.Put(pool.Get())
 	}
 }
+
+// --- Incremental batch Q2 under pins (Figure-9-style clean-while-query) ------
+
+// benchBatchQ2CleanWhileQuery interleaves cleaning steps of a session with a
+// repeated batch Q2 of the same points against the session's evolving pin
+// state — the serving pattern the retained-tree memo targets. incremental
+// answers through the per-point retained trees (memo hits for irrelevant
+// pins, windowed delta replays for relevant ones); the baseline disables the
+// memo so every query pays a full SS-DC sweep per point through the same
+// code path, keeping the scans/op counters directly comparable.
+func benchBatchQ2CleanWhileQuery(b *testing.B, incremental bool) {
+	cfg := serve.Config{Parallelism: 2, DisableQueryMemo: !incremental}
+	d := benchServeData(200, 3, 2, 4, 52)
+	s := serve.NewServer(cfg)
+	defer s.Close()
+	if _, err := s.Register("bench", d, knn.NegEuclidean{}, 3); err != nil {
+		b.Fatal(err)
+	}
+	truth := make([]int, d.N()) // candidate 0 is every row's oracle repair
+	sess, err := s.StartCleanSession("bench", serve.CleanRequest{
+		Truth:     truth,
+		ValPoints: benchServePoints(4, 4, 61),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := benchServePoints(16, 4, 62)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sess.Next(1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Query(ctx, serve.BatchRequest{Points: points}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	qs := sess.QueryStats()
+	b.ReportMetric(float64(qs.Retained.CandidatesScanned)/float64(b.N), "scans/op")
+	b.ReportMetric(float64(qs.Retained.CandidatesAvoided)/float64(b.N), "scans-avoided/op")
+}
+
+func BenchmarkBatchQ2_Incremental(b *testing.B) { benchBatchQ2CleanWhileQuery(b, true) }
+func BenchmarkBatchQ2_FullSweep(b *testing.B)   { benchBatchQ2CleanWhileQuery(b, false) }
 
 // --- CPClean ablations --------------------------------------------------------
 

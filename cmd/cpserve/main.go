@@ -4,7 +4,7 @@
 //
 //	cpserve -addr :8080 [-train dirty.csv -name mydata] [-k 3]
 //	        [-max-candidates 125] [-parallelism 0] [-engine-cache 256]
-//	        [-max-sessions 64] [-session-ttl 15m]
+//	        [-max-engine-bytes 1073741824] [-max-sessions 64] [-session-ttl 15m]
 //	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
 //	        [-data-dir /var/lib/cpserve] [-wal-segment-bytes 8388608]
 //	        [-wal-sync-interval 5ms]
@@ -25,7 +25,10 @@
 //	POST   /v1/datasets                 register {name, num_labels, examples, kernel, k}
 //	GET    /v1/datasets                 list registered names
 //	GET    /v1/datasets/{name}          dataset info + engine/scratch pool stats
-//	POST   /v1/datasets/{name}/query    batch CP query {points, k?} → Q1/Q2/entropy per point
+//	POST   /v1/datasets/{name}/query    batch CP query {points, k?} → Q1/Q2/entropy per
+//	                                    point; repeats of a cached point answer from its
+//	                                    retained-tree memo, and a client disconnect cancels
+//	                                    the remaining fan-out (499)
 //	POST   /v1/datasets/{name}/clean    create a CPClean session {truth, val_points,
 //	                                    k?, max_steps?} → 201 with a session ID;
 //	                                    the run is decoupled from any connection
@@ -37,7 +40,14 @@
 //	                                    examined_hypotheses), then a summary
 //	                                    line; disconnecting detaches the client
 //	                                    but the session survives for resume
+//	POST   /v1/clean/{id}/query         batch CP query under the session's current pins —
+//	                                    answers reflect the partially cleaned state, and
+//	                                    repeated batches reuse per-point retained trees
+//	                                    across pins (see query_memo in the session status)
 //	DELETE /v1/clean/{id}               release the session
+//	GET    /v1/stats                    serving + WAL statistics (engine caches and byte
+//	                                    budgets, query-memo reuse, fsync count/latency,
+//	                                    segment/snapshot counts, last replay duration)
 //
 // Registering with k omitted or 0 defaults to min(3, N). Errors are JSON
 // {"error": ...} with status 400 (malformed request, unknown JSON field,
@@ -82,6 +92,7 @@ func main() {
 	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row (-train)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
 	engineCache := flag.Int("engine-cache", 0, "per-dataset engine LRU size (0 = default, <0 = off)")
+	maxEngineBytes := flag.Int64("max-engine-bytes", 0, "byte budget per (dataset, K) engine cache (0 = default 1GiB, <0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 0, "cap on live clean sessions (0 = default, <0 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict clean sessions idle this long (0 = default, <0 = never)")
 	maxRegisterBytes := flag.Int64("max-register-bytes", 0, "dataset registration body cap (0 = default, <0 = unlimited)")
@@ -116,6 +127,7 @@ func main() {
 		s, err := serve.Open(serve.Config{
 			Parallelism:      *parallelism,
 			EngineCacheSize:  *engineCache,
+			MaxEngineBytes:   *maxEngineBytes,
 			MaxCleanSessions: *maxSessions,
 			SessionTTL:       *sessionTTL,
 			MaxRegisterBytes: *maxRegisterBytes,

@@ -34,7 +34,30 @@ type Engine struct {
 	rowPos    []int   // leaf index of each row inside its label's tree
 	labelLen  []int   // rows per label
 	ones      []int32 // scratch template
+	// firstPos/lastPos bound each row's candidate span inside order: every
+	// candidate of row i sits at a scan position in [firstPos[i], lastPos[i]].
+	// Outside that span a pin of row i provably cannot change the row's DP
+	// leaf (α is 0 before the span and saturated after it), which is what
+	// lets Retained replay only the span window after a pin.
+	firstPos []int
+	lastPos  []int
+	// pinLog records each pin mutation so retained-tree caches can ask which
+	// rows changed between two pin generations. pinLog[g−pinLogBase] is the
+	// mutation that advanced the generation from g to g+1; the log is
+	// bounded, and a cache older than its tail falls back to a full rescan.
+	pinLog     []PinEvent
+	pinLogBase uint64
 }
+
+// PinEvent is one pin mutation: row's pin moved from Old to New (−1 = no
+// pin). A Row of −1 marks a ResetPins, where every row may have changed.
+type PinEvent struct {
+	Row, Old, New int32
+}
+
+// maxPinLog bounds the engine's pin-mutation log. Caches further behind than
+// this rebuild from scratch, which is a performance fallback, never an error.
+const maxPinLog = 4096
 
 // NewEngine builds an engine for incomplete dataset d and test point t under
 // the given kernel.
@@ -61,7 +84,55 @@ func NewEngineFromInstance(inst *Instance) *Engine {
 		e.rowPos[i] = e.labelLen[l]
 		e.labelLen[l]++
 	}
+	e.firstPos = make([]int, n)
+	e.lastPos = make([]int, n)
+	for i := range e.firstPos {
+		e.firstPos[i] = -1
+	}
+	for pos, ref := range e.order {
+		i := int(ref.row)
+		if e.firstPos[i] < 0 {
+			e.firstPos[i] = pos
+		}
+		e.lastPos[i] = pos
+	}
 	return e
+}
+
+// logPinMutation appends one mutation to the pin log, sliding the bounded
+// window forward when it overflows.
+func (e *Engine) logPinMutation(ev PinEvent) {
+	if len(e.pinLog) >= maxPinLog {
+		drop := len(e.pinLog) / 2
+		e.pinLogBase += uint64(drop)
+		e.pinLog = append(e.pinLog[:0], e.pinLog[drop:]...)
+	}
+	e.pinLog = append(e.pinLog, ev)
+}
+
+// PinsSince reports the pin mutations between generation gen and the
+// engine's current generation, in order. ok is false when gen is ahead of
+// the engine or has aged out of the bounded log — callers must then treat
+// every row as potentially changed. The returned slice aliases the log and
+// is valid only until the next pin mutation. Like SetPin, not safe to call
+// concurrently with pin mutations.
+func (e *Engine) PinsSince(gen uint64) (events []PinEvent, ok bool) {
+	switch {
+	case gen > e.pinGen:
+		return nil, false
+	case gen == e.pinGen:
+		return nil, true
+	case gen < e.pinLogBase:
+		return nil, false
+	}
+	return e.pinLog[gen-e.pinLogBase:], true
+}
+
+// OrderSpan returns the scan-position span of row's candidates inside the
+// engine's total order — the only window of the SS-DC scan a pin of this row
+// can affect.
+func (e *Engine) OrderSpan(row int) (first, last int) {
+	return e.firstPos[row], e.lastPos[row]
 }
 
 // Instance returns the similarity view the engine answers queries over.
@@ -76,8 +147,10 @@ func (e *Engine) SetPin(row, cand int) {
 	if cand >= 0 && cand >= e.inst.M(row) {
 		panic(fmt.Sprintf("core: pin candidate %d out of range for row %d (M=%d)", cand, row, e.inst.M(row)))
 	}
+	old := e.pins[row]
 	e.pins[row] = int32(cand)
 	e.pinGen++
+	e.logPinMutation(PinEvent{Row: int32(row), Old: old, New: int32(cand)})
 }
 
 // Pin returns the pinned candidate of row, or -1.
@@ -317,6 +390,35 @@ func accumulateInto(sc *Scratch, roots [][]float64, out []float64) {
 	}
 }
 
+// term is one recorded support contribution of a boundary-candidate scan
+// position: counts[y] += v. Retained replays term streams in the original
+// accumulation order, which keeps the re-summed counts bit-identical to a
+// fresh scan.
+type term struct {
+	y int32
+	v float64
+}
+
+// recordInto is accumulateInto with the additions captured as terms instead
+// of applied: same tally order, same products, same zero-skips.
+func recordInto(sc *Scratch, roots [][]float64, rec []term) []term {
+	for ti, g := range sc.tallies {
+		prod := 1.0
+		for l, c := range g {
+			v := roots[l][c]
+			if v == 0 {
+				prod = 0
+				break
+			}
+			prod *= v
+		}
+		if prod != 0 {
+			rec = append(rec, term{y: int32(sc.winners[ti]), v: prod})
+		}
+	}
+	return rec
+}
+
 // CountsMC answers Q2 with the appendix-A.3 multi-class variant: instead of
 // enumerating all C(K+|Y|−1, K) label tallies, for each winning label l and
 // winning tally c it runs a winner-cap DP over the other labels (labels
@@ -367,6 +469,14 @@ func (e *Engine) CountsMC(sc *Scratch, overrideRow, overrideCand int) []float64 
 
 // accumulateMC adds supports via the winner-cap DP.
 func (e *Engine) accumulateMC(sc *Scratch) {
+	e.recordMC(sc, nil)
+}
+
+// recordMC is accumulateMC with an optional term recorder: with rec == nil
+// the supports are added into sc.counts (the normal query path); otherwise
+// they are appended to rec in the same (l, c) order and sc.counts is left
+// untouched.
+func (e *Engine) recordMC(sc *Scratch, rec *[]term) {
 	k := sc.k
 	for l := 0; l < e.numLabels; l++ {
 		rootL := sc.trees[l].Root()
@@ -409,7 +519,11 @@ func (e *Engine) accumulateMC(sc *Scratch) {
 				dp, next = next, dp
 			}
 			if dp[rem] != 0 {
-				sc.counts[l] += wl * dp[rem]
+				if rec != nil {
+					*rec = append(*rec, term{y: int32(l), v: wl * dp[rem]})
+				} else {
+					sc.counts[l] += wl * dp[rem]
+				}
 			}
 		}
 	}

@@ -28,6 +28,50 @@ func (e *Engine) ShapeKey() string {
 // K returns the K the scratch was allocated for.
 func (sc *Scratch) K() int { return sc.k }
 
+// ApproxBytes estimates the engine's heap footprint — the similarity matrix
+// and the sorted candidate order dominate at O(NM) — so byte-budgeted caches
+// can account engines instead of merely counting them.
+func (e *Engine) ApproxBytes() int64 {
+	nm := int64(e.inst.TotalCandidates())
+	n := int64(e.N())
+	const sliceHeader = 24
+	b := nm * (8 + 8)    // inst.Sims values + order candRefs
+	b += n * sliceHeader // Sims row headers
+	b += n * (4 + 8 + 8) // pins, labelOf, rowPos
+	b += n * (8 + 8)     // firstPos, lastPos
+	b += int64(len(e.pinLog)) * 12
+	b += int64(e.numLabels) * 8 // labelLen
+	return b
+}
+
+// ApproxBytes estimates the scratch's heap footprint: the per-label segment
+// trees dominate at O(N·K) floats per label (×2 for the hypothesis-scan
+// alternate trees).
+func (sc *Scratch) ApproxBytes() int64 {
+	var b int64
+	for _, tr := range sc.trees {
+		b += treeBytes(tr.Len(), sc.k) * 2 // trees + altTrees
+	}
+	b += int64(len(sc.alpha)) * 4
+	b += int64(len(sc.tallies)) * (24 + int64(len(sc.counts))) // tally slices
+	for _, p := range sc.leafP0 {
+		b += int64(len(p)) * 16 // leafP0 + leafP1
+	}
+	for _, h := range sc.hyp {
+		b += int64(len(h)) * 8 * 4 // hyp, own, snapPre, snapPost
+	}
+	return b
+}
+
+// treeBytes is the node-array footprint of a segtree.PolyTree over n leaves.
+func treeBytes(n, k int) int64 {
+	size := 1
+	for size < n {
+		size *= 2
+	}
+	return int64(2*size*(k+1)) * 8
+}
+
 // CompatibleWith reports whether sc (allocated for some engine with the
 // given K) can serve queries against e: same K and same per-label tree
 // sizes. Note rows must also appear in the same label order for answers to
@@ -51,6 +95,7 @@ func (e *Engine) ResetPins() {
 		e.pins[i] = -1
 	}
 	e.pinGen++
+	e.logPinMutation(PinEvent{Row: -1, Old: -1, New: -1})
 }
 
 // ScratchPool is a concurrency-safe free list of Scratches for one

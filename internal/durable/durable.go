@@ -131,6 +131,14 @@ type Store struct {
 	syncErr   error  // sticky: a failed fsync poisons the store
 	closed    bool
 
+	// Observability counters (guarded by mu; see Metrics).
+	fsyncCount    int64
+	fsyncTotal    time.Duration
+	fsyncLast     time.Duration
+	snapsWritten  int64
+	replayDur     time.Duration
+	replayRecords int64
+
 	flusherStop chan struct{}
 	flusherDone chan struct{}
 }
@@ -151,6 +159,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	st := &Store{dir: dir, opts: opts}
 	st.cond = sync.NewCond(&st.mu)
+	replayStart := time.Now()
 
 	segs, snaps, err := scanDir(dir)
 	if err != nil {
@@ -231,6 +240,8 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 	}
+	st.replayDur = time.Since(replayStart)
+	st.replayRecords = int64(len(st.records))
 	st.flusherStop = make(chan struct{})
 	st.flusherDone = make(chan struct{})
 	go st.flusher()
@@ -255,6 +266,61 @@ func (st *Store) ActiveSegmentBytes() int64 {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.activeLen
+}
+
+// Metrics is the store's observability snapshot — what an operator watches
+// to see group-commit health (fsync cadence and latency), compaction
+// progress (segments and snapshots on disk), and how expensive the last
+// restart was (replay duration and record count).
+type Metrics struct {
+	// FsyncCount counts record fsyncs since open; FsyncTotalMicros and
+	// FsyncLastMicros are their cumulative and most recent latency.
+	FsyncCount       int64 `json:"fsync_count"`
+	FsyncTotalMicros int64 `json:"fsync_total_micros"`
+	FsyncLastMicros  int64 `json:"fsync_last_micros"`
+	// AppendedRecords / SyncedRecords count records buffered and known
+	// durable; the difference is the group-commit window's exposure.
+	AppendedRecords uint64 `json:"appended_records"`
+	SyncedRecords   uint64 `json:"synced_records"`
+	// ActiveSegment is the live segment's sequence number and
+	// ActiveSegmentBytes its current size; SegmentCount and SnapshotCount
+	// are the files on disk right now (compaction shrinks both).
+	ActiveSegment      int   `json:"active_segment"`
+	ActiveSegmentBytes int64 `json:"active_segment_bytes"`
+	SegmentCount       int   `json:"segment_count"`
+	SnapshotCount      int   `json:"snapshot_count"`
+	// SnapshotsWritten counts compactions completed since open.
+	SnapshotsWritten int64 `json:"snapshots_written"`
+	// LastReplayMicros is how long Open spent recovering the directory, and
+	// LastReplayRecords how many records it replayed after the snapshot.
+	LastReplayMicros  int64 `json:"last_replay_micros"`
+	LastReplayRecords int64 `json:"last_replay_records"`
+}
+
+// Metrics snapshots the store's counters. It lists the directory to report
+// live segment/snapshot counts — cheap, but not free; meant for stats
+// endpoints, not hot paths.
+func (st *Store) Metrics() Metrics {
+	segs, snaps, err := scanDir(st.dir)
+	if err != nil {
+		segs, snaps = nil, nil // directory unreadable: report counters only
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Metrics{
+		FsyncCount:         st.fsyncCount,
+		FsyncTotalMicros:   st.fsyncTotal.Microseconds(),
+		FsyncLastMicros:    st.fsyncLast.Microseconds(),
+		AppendedRecords:    st.appendSeq,
+		SyncedRecords:      st.syncedSeq,
+		ActiveSegment:      st.activeSeq,
+		ActiveSegmentBytes: st.activeLen,
+		SegmentCount:       len(segs),
+		SnapshotCount:      len(snaps),
+		SnapshotsWritten:   st.snapsWritten,
+		LastReplayMicros:   st.replayDur.Microseconds(),
+		LastReplayRecords:  st.replayRecords,
+	}
 }
 
 // scanDir lists segment and snapshot sequence numbers in ascending order.
@@ -504,9 +570,13 @@ func (st *Store) flushLocked() error {
 	if err := st.w.Flush(); err != nil {
 		return st.poison(err)
 	}
+	start := time.Now()
 	if err := st.f.Sync(); err != nil {
 		return st.poison(err)
 	}
+	st.fsyncLast = time.Since(start)
+	st.fsyncTotal += st.fsyncLast
+	st.fsyncCount++
 	st.syncedSeq = st.appendSeq
 	st.cond.Broadcast()
 	return nil
@@ -604,6 +674,9 @@ func (st *Store) Compact(state func() ([]byte, error)) error {
 	if err := writeSnapshot(st.dir, sealed, b); err != nil {
 		return err
 	}
+	st.mu.Lock()
+	st.snapsWritten++
+	st.mu.Unlock()
 	// The snapshot covers every segment up to and including the sealed one,
 	// and any older snapshot.
 	segs, snaps, err := scanDir(st.dir)

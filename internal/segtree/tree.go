@@ -8,6 +8,18 @@
 // so the root coefficient T(c, 1, N) is the total weight of choosing exactly
 // c rows into the top-K. Updating one leaf costs O(K² log N); reading the
 // root is O(1).
+//
+// # Purity invariant
+//
+// Every internal node is always the exact truncated convolution of its two
+// children (each update fully recomputes the nodes on the changed leaf's
+// path), so node values — the root above all — are a pure function of the
+// current leaf values: any sequence of SetLeaf / SwapLeaf / Restore /
+// ResetLeaves calls that ends in the same leaf state yields bit-identical
+// node values, regardless of the path taken. The retained-tree incremental
+// Q2 mode (internal/core.Retained) depends on exactly this property to
+// splice bulk-rebuilt tree states into the middle of a replayed scan and
+// still match a fresh scan bit for bit; TestPathIndependence pins it.
 package segtree
 
 // PolyTree is a fixed-size segment tree over n leaves, each node storing a
@@ -107,6 +119,38 @@ func (t *PolyTree) SetLeaf(i int, p0, p1 float64) {
 	for idx := (t.size + i) / 2; idx >= 1; idx /= 2 {
 		t.recompute(idx)
 	}
+}
+
+// LeafState is an undo record for one leaf delta: the leaf index and the
+// [p0, p1] it held before the delta was applied.
+type LeafState struct {
+	Index  int
+	P0, P1 float64
+}
+
+// SwapLeaf applies the leaf delta (i ← [p0, p1]) and returns the previous
+// state, so the caller can hypothetically collapse a leaf — e.g. to a pinned
+// candidate's polynomial — read the root, and roll back with Restore.
+// O(K² log n), identical cost to SetLeaf.
+func (t *PolyTree) SwapLeaf(i int, p0, p1 float64) LeafState {
+	prev0, prev1 := t.Leaf(i)
+	t.SetLeaf(i, p0, p1)
+	return LeafState{Index: i, P0: prev0, P1: prev1}
+}
+
+// Restore undoes a SwapLeaf by re-applying the saved leaf state. By the
+// purity invariant the tree is bit-identical to the state before the swap.
+func (t *PolyTree) Restore(s LeafState) {
+	t.SetLeaf(s.Index, s.P0, s.P1)
+}
+
+// CopyFrom makes t a bitwise copy of src, which must have identical n and k.
+// O(size·K) — cheaper than replaying src's update history.
+func (t *PolyTree) CopyFrom(src *PolyTree) {
+	if t.n != src.n || t.k != src.k {
+		panic("segtree: CopyFrom shape mismatch")
+	}
+	copy(t.nodes, src.nodes)
 }
 
 // Leaf returns the current [p0, p1] of leaf i.

@@ -135,6 +135,71 @@ func TestSetLeafOutOfRangePanics(t *testing.T) {
 	New(2, 1).SetLeaf(5, 0, 0)
 }
 
+// TestSwapLeafRestore checks the delta/undo pair: SwapLeaf returns the
+// pre-delta state and Restore brings every node back bit-for-bit.
+func TestSwapLeafRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		k := 1 + rng.Intn(4)
+		tr := New(n, k)
+		for i := 0; i < n; i++ {
+			tr.SetLeaf(i, rng.Float64(), rng.Float64())
+		}
+		before := append([]float64(nil), tr.nodes...)
+		i := rng.Intn(n)
+		p0, p1 := tr.Leaf(i)
+		undo := tr.SwapLeaf(i, rng.Float64(), rng.Float64())
+		if undo.Index != i || undo.P0 != p0 || undo.P1 != p1 {
+			t.Fatalf("trial %d: undo record %+v, leaf was [%v %v]", trial, undo, p0, p1)
+		}
+		tr.Restore(undo)
+		for j, v := range tr.nodes {
+			if v != before[j] {
+				t.Fatalf("trial %d: node %d = %v after restore, want %v", trial, j, v, before[j])
+			}
+		}
+	}
+}
+
+// TestPathIndependence pins the purity invariant the retained-tree Q2 mode
+// relies on: node values depend only on the final leaf state, bit for bit,
+// no matter how that state was reached (incremental SetLeaf/SwapLeaf paths,
+// bulk ResetLeaves, or CopyFrom).
+func TestPathIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(4)
+		p0 := make([]float64, n)
+		p1 := make([]float64, n)
+		for i := range p0 {
+			p0[i], p1[i] = rng.Float64(), rng.Float64()
+		}
+		// Path A: bulk rebuild.
+		a := New(n, k)
+		a.ResetLeaves(p0, p1)
+		// Path B: incremental updates in random order with detours.
+		b := New(n, k)
+		for _, i := range rng.Perm(n) {
+			b.SetLeaf(i, rng.Float64(), rng.Float64()) // detour
+			b.SetLeaf(i, p0[i], p1[i])
+		}
+		for _, i := range rng.Perm(n) { // redundant re-application
+			b.Restore(LeafState{Index: i, P0: p0[i], P1: p1[i]})
+		}
+		// Path C: copy of A.
+		c := New(n, k)
+		c.CopyFrom(a)
+		for j := range a.nodes {
+			if a.nodes[j] != b.nodes[j] || a.nodes[j] != c.nodes[j] {
+				t.Fatalf("trial %d: node %d diverged: bulk=%v incremental=%v copy=%v",
+					trial, j, a.nodes[j], b.nodes[j], c.nodes[j])
+			}
+		}
+	}
+}
+
 func TestRootSumProperty(t *testing.T) {
 	// If every leaf is a probability pair (p, 1−p) and k ≥ n, the root
 	// coefficients sum to 1 (a full binomial distribution).

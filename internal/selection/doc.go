@@ -24,6 +24,13 @@
 // core.TestIrrelevantPinLeavesHypothesesUnchanged) — so round t+1 rescans
 // only the (row, point) pairs the round-t pin actually touched.
 //
+// When a pin does invalidate a point's memo, the point's current entropy and
+// relevance mask rescore through the retained-tree query mode
+// (core.Retained): the pin replays as segment-tree leaf deltas inside the
+// pinned row's candidate-span window instead of a fresh O(NM·K²·log N)
+// SS-DC sweep, with bit-identical results (Retained's exactness contract).
+// Config.DisableRetained ablates this back to full sweeps.
+//
 // # Invariants
 //
 //   - PinGeneration staleness: a memo is trusted only while its recorded

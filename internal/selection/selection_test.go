@@ -202,6 +202,46 @@ func TestIncrementalMatchesFullRescore(t *testing.T) {
 	}
 }
 
+// TestRetainedRescoreLockstep drives the default selector (retained-tree
+// delta rescore) and the DisableRetained ablation (full SS-DC sweep per
+// invalidated point) through a whole run: identical selections and scores
+// every round, and the retained stats must show the delta path actually
+// fired instead of degenerating to full rescans.
+func TestRetainedRescoreLockstep(t *testing.T) {
+	d := randDataset(t, 30, 3, 2, 2, 0.6, 404)
+	valPts := randPoints(10, 2, 405)
+	a := newHarness(t, d, valPts, 3, Config{})
+	b := newHarness(t, d, valPts, 3, Config{DisableRetained: true})
+	rng := rand.New(rand.NewSource(406))
+	for round := 0; round <= d.N() && !a.allCertain(); round++ {
+		rows := a.candidateRows()
+		if len(rows) == 0 {
+			break
+		}
+		rowsA, hA, _ := a.sel.SelectBatch(rows, 1)
+		rowsB, hB, _ := b.sel.SelectBatch(rows, 1)
+		if rowsA[0] != rowsB[0] || hA[0] != hB[0] {
+			t.Fatalf("round %d: retained rescore selected row %d (H=%v), full sweep row %d (H=%v)",
+				round, rowsA[0], hA[0], rowsB[0], hB[0])
+		}
+		cand := rng.Intn(d.Examples[rowsA[0]].M())
+		a.sel.Pin(rowsA[0], cand)
+		b.sel.Pin(rowsB[0], cand)
+		a.refreshCertainty(t)
+		b.refreshCertainty(t)
+	}
+	st := a.sel.RetainedStats()
+	if st.FullScans == 0 {
+		t.Fatalf("no initial full scans recorded: %+v", st)
+	}
+	if st.DeltaScans+st.MemoHits == 0 {
+		t.Fatalf("retained rescore never reused work across pins: %+v", st)
+	}
+	if off := b.sel.RetainedStats(); off.FullScans+off.DeltaScans+off.MemoHits != 0 {
+		t.Fatalf("DisableRetained still touched the retained path: %+v", off)
+	}
+}
+
 // TestSelectorSurvivesOutOfBandPins pins engines directly (bypassing
 // Selector.Pin) and checks the pin-generation staleness hook forces a
 // recompute instead of serving stale memos.

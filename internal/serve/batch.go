@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -26,7 +27,8 @@ type PointResult struct {
 	Certain bool `json:"certain"`
 	// Entropy is the Shannon entropy (nats) of the Q2 distribution.
 	Entropy float64 `json:"entropy"`
-	// Fractions is the normalized Q2 answer per label.
+	// Fractions is the normalized Q2 answer per label. Treat as read-only:
+	// memoized results share one backing slice across callers.
 	Fractions []float64 `json:"fractions"`
 }
 
@@ -42,17 +44,21 @@ type BatchResult struct {
 // BatchQuery answers Q1/Q2/entropy for every point of the request against
 // the named dataset, fanning the points out across the server's worker
 // budget. Engines come from the per-dataset LRU, Scratches from the shared
-// free list.
-func (s *Server) BatchQuery(name string, req BatchRequest) (*BatchResult, error) {
+// free list, and repeated queries of a cached point are answered from its
+// retained-tree memo. Canceling ctx — a disconnected HTTP client above all —
+// stops the fan-out: remaining points are never started, in-flight workers
+// stop at the next point boundary, and the context's error is returned with
+// partial work discarded.
+func (s *Server) BatchQuery(ctx context.Context, name string, req BatchRequest) (*BatchResult, error) {
 	ds, err := s.Dataset(name)
 	if err != nil {
 		return nil, err
 	}
-	return ds.BatchQuery(req, s.cfg)
+	return ds.BatchQuery(ctx, req, s.cfg)
 }
 
 // BatchQuery is the dataset-level batch entry point.
-func (d *Dataset) BatchQuery(req BatchRequest, cfg Config) (*BatchResult, error) {
+func (d *Dataset) BatchQuery(ctx context.Context, req BatchRequest, cfg Config) (*BatchResult, error) {
 	cfg = cfg.withDefaults()
 	k, err := d.resolveK(req.K)
 	if err != nil {
@@ -64,7 +70,7 @@ func (d *Dataset) BatchQuery(req BatchRequest, cfg Config) (*BatchResult, error)
 			return nil, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
 		}
 	}
-	pool := d.pool(k, cfg.EngineCacheSize)
+	pool := d.pool(k, cfg)
 	res := &BatchResult{K: k, Results: make([]PointResult, len(req.Points))}
 	workers := cfg.Parallelism
 	if workers > len(req.Points) {
@@ -88,15 +94,21 @@ func (d *Dataset) BatchQuery(req BatchRequest, cfg Config) (*BatchResult, error)
 				}
 			}()
 			for i := range work {
-				if errs[w] != nil {
+				if errs[w] != nil || ctx.Err() != nil {
 					continue // keep draining so senders never block
 				}
-				e := pool.engine(req.Points[i])
-				if sc == nil {
-					scratches = pool.scratchesFor(e)
-					sc = scratches.Get()
+				e, ent := pool.engine(req.Points[i])
+				var r PointResult
+				var qerr error
+				if ent != nil {
+					r, qerr = pool.queryEntry(ent, k, req.UseMC)
+				} else {
+					if sc == nil {
+						scratches = pool.scratchesFor(e)
+						sc = scratches.Get()
+					}
+					r, qerr = queryEngine(e, sc, k, req.UseMC)
 				}
-				r, qerr := queryEngine(e, sc, k, req.UseMC)
 				if qerr != nil {
 					errs[w] = qerr
 					continue
@@ -105,11 +117,22 @@ func (d *Dataset) BatchQuery(req BatchRequest, cfg Config) (*BatchResult, error)
 			}
 		}(w)
 	}
+feed:
 	for i := range req.Points {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed // client gone: stop handing out points
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Partial results are discarded: the caller disconnected, nobody is
+		// left to read them. The wrapped context error lets the HTTP layer
+		// answer with 499-style closed-connection handling.
+		return nil, fmt.Errorf("serve: batch query abandoned: %w", err)
+	}
 	for _, werr := range errs {
 		if werr != nil {
 			return nil, werr
@@ -136,7 +159,14 @@ func queryEngine(e *core.Engine, sc *core.Scratch, k int, useMC bool) (PointResu
 	} else {
 		counts = e.Counts(sc, -1, -1)
 	}
-	fractions := append([]float64(nil), counts...)
+	return assemblePointResult(e, k, append([]float64(nil), counts...))
+}
+
+// assemblePointResult derives prediction, entropy, and Q1 certainty from an
+// owned Q2 fraction slice (exact MM for binary labels, threshold certainty
+// otherwise). Both the fresh-sweep and retained-memo paths end here, so
+// their answers agree field for field.
+func assemblePointResult(e *core.Engine, k int, fractions []float64) (PointResult, error) {
 	r := PointResult{
 		Prediction: core.ArgmaxProb(fractions),
 		Entropy:    core.Entropy(fractions),

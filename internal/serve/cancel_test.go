@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateKernel counts Similarity calls and, once armed, blocks every call at a
+// gate — simulating expensive per-point engine builds so a test can freeze a
+// batch mid-flight, disconnect the client, and measure how much work the
+// server still performs.
+type gateKernel struct {
+	calls   *atomic.Int64
+	started chan struct{}
+	once    *sync.Once
+	gate    chan struct{}
+}
+
+func newGateKernel() gateKernel {
+	return gateKernel{
+		calls:   &atomic.Int64{},
+		started: make(chan struct{}),
+		once:    &sync.Once{},
+		gate:    make(chan struct{}),
+	}
+}
+
+func (g gateKernel) Similarity(a, b []float64) float64 {
+	g.calls.Add(1)
+	g.once.Do(func() { close(g.started) })
+	<-g.gate
+	d := 0.0
+	for i := range a {
+		d += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	return -d
+}
+
+func (g gateKernel) Name() string { return "test-gate" }
+
+// TestBatchQueryClientDisconnectFreesWorkers is the orphaned-batch bugfix
+// contract: canceling the request context mid-batch stops the fan-out — the
+// feeder hands out no further points and workers skip what was already
+// queued — so a disconnected client's batch does not burn workers computing
+// answers nobody will read.
+func TestBatchQueryClientDisconnectFreesWorkers(t *testing.T) {
+	d := randDataset(t, 30, 3, 2, 2, 0.5, 910)
+	kernel := newGateKernel()
+	s := NewServer(Config{Parallelism: 2, EngineCacheSize: -1})
+	defer s.Close()
+	if _, err := s.Register("d", d, kernel, 3); err != nil {
+		t.Fatal(err)
+	}
+	perEngine := int64(d.TotalCandidates())
+	const points = 40
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.BatchQuery(ctx, "d", BatchRequest{Points: randPoints(points, 2, 911)})
+		errc <- err
+	}()
+	<-kernel.started // both workers are now inside (or entering) engine builds
+	cancel()         // client disconnects
+	close(kernel.gate)
+	err := <-errc
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned batch returned %v, want a context.Canceled wrap", err)
+	}
+	if got := errStatus(err); got != statusClientClosedRequest {
+		t.Fatalf("errStatus(%v) = %d, want %d", err, got, statusClientClosedRequest)
+	}
+	// Only the builds already in flight at cancel time may complete: with 2
+	// workers that is a handful of engines, nowhere near all 40 points.
+	if calls := kernel.calls.Load(); calls >= perEngine*(points/2) {
+		t.Fatalf("canceled batch still performed %d kernel calls (≥ %d): workers kept computing after disconnect",
+			calls, perEngine*(points/2))
+	}
+}
+
+// TestBatchQueryHTTPDisconnect drives the same contract end to end over
+// HTTP: a client whose connection dies mid-batch (its writer hung, then the
+// request context canceled) must stop the handler's fan-out.
+func TestBatchQueryHTTPDisconnect(t *testing.T) {
+	d := randDataset(t, 30, 3, 2, 2, 0.5, 920)
+	kernel := newGateKernel()
+	s := NewServer(Config{Parallelism: 2, EngineCacheSize: -1})
+	defer s.Close()
+	if _, err := s.Register("d", d, kernel, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Wrap the handler so the test can observe the server-side request
+	// context: the contract under test is "server ctx canceled → workers
+	// freed", so the gate opens only after the server has noticed the
+	// disconnect (the stdlib's detection latency is not what's being tested).
+	var srvCtx atomic.Value
+	h := Handler(s)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		srvCtx.Store(r.Context())
+		h.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	const points = 40
+	body, err := encodeQueryBody(randPoints(points, 2, 921))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/datasets/d/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-kernel.started
+	cancel() // the client goes away while the server is mid-build
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+	// Wait until the server has detected the dead connection and canceled
+	// the request context, then let the frozen builds proceed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if ctx, ok := srvCtx.Load().(context.Context); ok && ctx.Err() != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never canceled the request context after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(kernel.gate)
+	// The handler must wind down without finishing the batch: wait for the
+	// kernel-call counter to go quiet, then check how far it got.
+	perEngine := int64(d.TotalCandidates())
+	deadline = time.Now().Add(5 * time.Second)
+	last := kernel.calls.Load()
+	for time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		cur := kernel.calls.Load()
+		if cur == last {
+			break
+		}
+		last = cur
+	}
+	if calls := kernel.calls.Load(); calls >= perEngine*(points/2) {
+		t.Fatalf("disconnected HTTP batch still performed %d kernel calls (≥ %d)", calls, perEngine*(points/2))
+	}
+}
+
+// encodeQueryBody builds the POST /v1/datasets/{name}/query JSON body.
+func encodeQueryBody(points [][]float64) ([]byte, error) {
+	return json.Marshal(map[string]interface{}{"points": points})
+}

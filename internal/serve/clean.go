@@ -138,7 +138,7 @@ func (s *Server) buildCleanSession(ds *Dataset, k int, req CleanRequest) (*Clean
 		}(v)
 	}
 	wg.Wait()
-	c.scratches = ds.pool(k, cfg.EngineCacheSize).scratchesFor(c.engines[0])
+	c.scratches = ds.pool(k, cfg).scratchesFor(c.engines[0])
 	if err := c.refreshCertainty(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -202,7 +203,7 @@ func TestDurableDatasetSurvivesRestart(t *testing.T) {
 	var info datasetInfo
 	decodeBody(t, resp, &info)
 	points := randPoints(6, 2, 337)
-	before, err := srv1.BatchQuery("web", BatchRequest{Points: points})
+	before, err := srv1.BatchQuery(context.Background(), "web", BatchRequest{Points: points})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestDurableDatasetSurvivesRestart(t *testing.T) {
 	if ds.Fingerprint() != info.Fingerprint {
 		t.Fatalf("fingerprint changed across restart: %s → %s", info.Fingerprint, ds.Fingerprint())
 	}
-	after, err := srv2.BatchQuery("web", BatchRequest{Points: points})
+	after, err := srv2.BatchQuery(context.Background(), "web", BatchRequest{Points: points})
 	if err != nil {
 		t.Fatal(err)
 	}

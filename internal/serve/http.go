@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -137,7 +138,9 @@ func decodeStatus(err error) int {
 //	GET    /v1/clean/{id}               session status
 //	POST   /v1/clean/{id}/next?steps=N  execute up to N steps (resumable pull)
 //	GET    /v1/clean/{id}/stream?from=K replay steps after K, then stream live NDJSON
+//	POST   /v1/clean/{id}/query         batch CP query under the session's pins
 //	DELETE /v1/clean/{id}               release the session
+//	GET    /v1/stats                    server-wide serving + WAL statistics
 //
 // Every route answers 503 once the server is closed (cpserve additionally
 // serves 503 at the listener while Open is still replaying the data
@@ -190,8 +193,13 @@ func Handler(s *Server) http.Handler {
 		if !decodeJSON(w, r, s.cfg.MaxQueryBytes, &req) {
 			return
 		}
-		res, err := s.BatchQuery(r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
+		res, err := s.BatchQuery(r.Context(), r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
 		if err != nil {
+			// A canceled request context means the client disconnected
+			// mid-batch; the fan-out already stopped and freed its workers.
+			// 499 (nginx's "client closed request") goes nowhere, but keeps
+			// logs and metrics truthful — consistent with the clean-stream
+			// path, which likewise stops stepping on a dead connection.
 			httpError(w, errStatus(err), err)
 			return
 		}
@@ -215,6 +223,29 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusCreated, sess.Status())
+	})
+	mux.HandleFunc("POST /v1/clean/{id}/query", func(w http.ResponseWriter, r *http.Request) {
+		sess, err := s.FindCleanSession(r.PathValue("id"))
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		var req struct {
+			Points [][]float64 `json:"points"`
+			K      int         `json:"k"`
+			UseMC  bool        `json:"use_mc"`
+		}
+		if !decodeJSON(w, r, s.cfg.MaxQueryBytes, &req) {
+			return
+		}
+		// Answers reflect the session's current cleaning state (every executed
+		// step applied as a pin); repeats reuse the per-point retained trees.
+		res, err := sess.Query(r.Context(), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
+		if err != nil {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("GET /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.FindCleanSession(r.PathValue("id"))
@@ -318,6 +349,9 @@ func Handler(s *Server) http.Handler {
 			})
 		}
 	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
 	mux.HandleFunc("DELETE /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.ReleaseCleanSession(r.PathValue("id")); err != nil {
 			httpError(w, errStatus(err), err)
@@ -348,14 +382,22 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// statusClientClosedRequest is nginx's non-standard 499: the client closed
+// the connection before the response was ready. No client reads it; it keeps
+// access logs and metrics distinguishing "we failed" from "they left".
+const statusClientClosedRequest = 499
+
 // errStatus maps server errors to HTTP status codes: unknown dataset or
 // session → 404, expired session → 410, session at capacity → 429, busy
 // session or conflicting registration → 409, a session killed by a
 // server-side step error or a write the durable journal rejected → 500,
 // server outside its serving window (replaying at startup, or shut down)
-// → 503, anything else (validation) → 400.
+// → 503, client disconnect canceling the request's work → 499, anything
+// else (validation) → 400.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return statusClientClosedRequest
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, ErrGone):

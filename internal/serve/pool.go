@@ -13,30 +13,48 @@ import (
 
 // enginePool owns the per-(dataset, K) serving state: a Scratch free list
 // (shape identical across every engine of the dataset) and an LRU of
-// constructed engines keyed by test point. Cached engines carry no pins and
-// are therefore safe for concurrent queries from many goroutines, each with
-// its own Scratch.
+// constructed engines keyed by test point, budgeted both by entry count and
+// by approximate bytes (engines plus their retained query memos). Cached
+// engines carry no pins and are therefore safe for concurrent queries from
+// many goroutines, each with its own Scratch; each entry's retained-tree
+// memo is single-goroutine and guarded by the entry's own mutex.
 type enginePool struct {
 	ds       *Dataset
 	k        int
 	capacity int
+	maxBytes int64 // 0 = unlimited
+	noMemo   bool  // Config.DisableQueryMemo: ablation baseline
 
 	mu        sync.Mutex
 	lru       *list.List // front = most recently used *engineEntry
 	byKey     map[string]*list.Element
+	bytes     int64             // Σ accounted bytes of cached entries
 	scratches *core.ScratchPool // created on first use; guarded by mu
 
-	builds atomic.Int64 // engines constructed
-	hits   atomic.Int64 // cache hits
+	builds    atomic.Int64 // engines constructed
+	hits      atomic.Int64 // cache hits
+	evictions atomic.Int64 // entries dropped by either budget
 }
 
+// engineEntry is one cached (test point → engine) binding plus its
+// retained-tree query memo: the full PointResult of the last query, keyed by
+// the engine's pin generation, with the underlying core.Retained holding the
+// scan state that makes a post-pin refresh incremental.
 type engineEntry struct {
 	key    string
 	engine *core.Engine
+	bytes  int64 // accounted engine+retained bytes; updated under pool.mu
+
+	mu        sync.Mutex // serializes memo/retained use
+	retained  *core.Retained
+	memo      PointResult
+	memoGen   uint64
+	memoMC    bool
+	memoValid bool
 }
 
 // pool returns (creating if needed) the engine pool for K.
-func (d *Dataset) pool(k, capacity int) *enginePool {
+func (d *Dataset) pool(k int, cfg Config) *enginePool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p, ok := d.pools[k]
@@ -44,7 +62,9 @@ func (d *Dataset) pool(k, capacity int) *enginePool {
 		p = &enginePool{
 			ds:       d,
 			k:        k,
-			capacity: capacity,
+			capacity: cfg.EngineCacheSize,
+			maxBytes: cfg.MaxEngineBytes,
+			noMemo:   cfg.DisableQueryMemo,
 			lru:      list.New(),
 			byKey:    make(map[string]*list.Element),
 		}
@@ -63,44 +83,122 @@ func pointKey(t []float64) string {
 	return string(b)
 }
 
-// engine returns a query engine for test point t, from cache when possible.
-// The returned engine may be shared with other goroutines; callers must not
-// pin it.
-func (p *enginePool) engine(t []float64) *core.Engine {
-	var key string
-	if p.capacity > 0 {
-		key = pointKey(t)
-		p.mu.Lock()
-		if el, ok := p.byKey[key]; ok {
-			p.lru.MoveToFront(el)
-			e := el.Value.(*engineEntry).engine
-			p.mu.Unlock()
-			p.hits.Add(1)
-			return e
-		}
-		p.mu.Unlock()
+// engine returns a query engine for test point t, from cache when possible,
+// together with its cache entry (nil when caching is disabled — the engine
+// is then private to the caller). The returned engine may be shared with
+// other goroutines; callers must not pin it.
+func (p *enginePool) engine(t []float64) (*core.Engine, *engineEntry) {
+	if p.capacity <= 0 {
+		e := core.NewEngine(p.ds.data, p.ds.kernel, t)
+		p.builds.Add(1)
+		return e, nil
 	}
+	key := pointKey(t)
+	p.mu.Lock()
+	if el, ok := p.byKey[key]; ok {
+		p.lru.MoveToFront(el)
+		ent := el.Value.(*engineEntry)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return ent.engine, ent
+	}
+	p.mu.Unlock()
 	// Construction is the expensive part (similarities + candidate sort);
 	// keep it outside the lock. A concurrent miss on the same key builds a
 	// duplicate and the first insert wins — wasted work, not a bug.
 	e := core.NewEngine(p.ds.data, p.ds.kernel, t)
 	p.builds.Add(1)
-	if p.capacity > 0 {
-		p.mu.Lock()
-		if el, ok := p.byKey[key]; ok {
-			p.lru.MoveToFront(el)
-			e = el.Value.(*engineEntry).engine
-		} else {
-			p.byKey[key] = p.lru.PushFront(&engineEntry{key: key, engine: e})
-			for p.lru.Len() > p.capacity {
-				back := p.lru.Back()
-				delete(p.byKey, back.Value.(*engineEntry).key)
-				p.lru.Remove(back)
-			}
-		}
-		p.mu.Unlock()
+	ent := &engineEntry{key: key, engine: e, bytes: e.ApproxBytes()}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		p.lru.MoveToFront(el)
+		ent = el.Value.(*engineEntry)
+		return ent.engine, ent
 	}
-	return e
+	p.byKey[key] = p.lru.PushFront(ent)
+	p.bytes += ent.bytes
+	p.evictLocked()
+	return e, ent
+}
+
+// evictLocked drops least-recently-used entries while either budget — entry
+// count or bytes — is exceeded. The byte budget always keeps the most recent
+// entry: a single over-budget engine degrades to a cache of one rather than
+// an un-cached rebuild per query. Caller holds p.mu.
+func (p *enginePool) evictLocked() {
+	for p.lru.Len() > p.capacity ||
+		(p.maxBytes > 0 && p.bytes > p.maxBytes && p.lru.Len() > 1) {
+		back := p.lru.Back()
+		ent := back.Value.(*engineEntry)
+		delete(p.byKey, ent.key)
+		p.lru.Remove(back)
+		p.bytes -= ent.bytes
+		p.evictions.Add(1)
+	}
+}
+
+// reaccount refreshes an entry's byte estimate after its retained memo grew
+// (term streams expand on first scan) and re-applies the byte budget.
+func (p *enginePool) reaccount(ent *engineEntry, newBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.byKey[ent.key]; !ok {
+		return // already evicted; nothing is accounted for it
+	}
+	p.bytes += newBytes - ent.bytes
+	ent.bytes = newBytes
+	p.evictLocked()
+}
+
+// queryEntry answers one point through the entry's retained memo: a repeat
+// query at an unchanged pin generation returns the memoized PointResult
+// outright, and a post-pin refresh recomputes Q2 through core.Retained's
+// delta path instead of a full SS-DC sweep. Falls back to a plain sweep when
+// the memo is disabled or the request's UseMC flips modes mid-entry.
+func (p *enginePool) queryEntry(ent *engineEntry, k int, useMC bool) (PointResult, error) {
+	e := ent.engine
+	if p.noMemo {
+		return p.queryPlain(e, k, useMC)
+	}
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	gen := e.PinGeneration()
+	if ent.memoValid && ent.memoGen == gen && ent.memoMC == useMC {
+		if ent.retained != nil {
+			// Keep the scans-avoided accounting truthful for memo repeats.
+			ent.retained.Counts()
+		}
+		return ent.memo, nil
+	}
+	if ent.retained != nil && ent.retained.UseMC() != useMC {
+		// Mode flip on a warm entry: answer plainly rather than thrash the
+		// retained state between accumulators.
+		return p.queryPlain(e, k, useMC)
+	}
+	if ent.retained == nil {
+		rt, err := core.NewRetained(e, k, useMC, p.scratchesFor(e))
+		if err != nil {
+			return PointResult{}, err
+		}
+		ent.retained = rt
+	}
+	counts := ent.retained.Counts()
+	r, err := assemblePointResult(e, k, append([]float64(nil), counts...))
+	if err != nil {
+		return r, err
+	}
+	ent.memo, ent.memoGen, ent.memoMC, ent.memoValid = r, gen, useMC, true
+	p.reaccount(ent, e.ApproxBytes()+ent.retained.ApproxBytes())
+	return r, nil
+}
+
+// queryPlain is the memo-less path: borrow a scratch, run the fresh sweep.
+func (p *enginePool) queryPlain(e *core.Engine, k int, useMC bool) (PointResult, error) {
+	scratches := p.scratchesFor(e)
+	sc := scratches.Get()
+	defer scratches.Put(sc)
+	return queryEngine(e, sc, k, useMC)
 }
 
 // scratchesFor returns the shared Scratch free list, creating it on first
@@ -126,8 +224,16 @@ type PoolStats struct {
 	EngineBuilds  int64 `json:"engine_builds"`
 	EngineHits    int64 `json:"engine_hits"`
 	EnginesCached int   `json:"engines_cached"`
-	ScratchGets   int64 `json:"scratch_gets"`
-	ScratchAllocs int64 `json:"scratch_allocs"`
+	// EngineBytes is the approximate heap held by cached engines plus their
+	// retained query memos; Evictions counts entries dropped by the entry or
+	// byte budget.
+	EngineBytes int64 `json:"engine_bytes"`
+	Evictions   int64 `json:"evictions"`
+	// Retained aggregates the retained-tree query-memo counters over the
+	// currently cached entries (evicted entries take their counts with them).
+	Retained      core.RetainedStats `json:"retained"`
+	ScratchGets   int64              `json:"scratch_gets"`
+	ScratchAllocs int64              `json:"scratch_allocs"`
 }
 
 // Stats snapshots every pool of the dataset, ordered by K.
@@ -144,11 +250,24 @@ func (d *Dataset) Stats() []PoolStats {
 			K:            p.k,
 			EngineBuilds: p.builds.Load(),
 			EngineHits:   p.hits.Load(),
+			Evictions:    p.evictions.Load(),
 		}
 		p.mu.Lock()
 		st.EnginesCached = p.lru.Len()
+		st.EngineBytes = p.bytes
+		entries := make([]*engineEntry, 0, p.lru.Len())
+		for el := p.lru.Front(); el != nil; el = el.Next() {
+			entries = append(entries, el.Value.(*engineEntry))
+		}
 		scratches := p.scratches
 		p.mu.Unlock()
+		for _, ent := range entries {
+			ent.mu.Lock()
+			if ent.retained != nil {
+				st.Retained.Add(ent.retained.Stats())
+			}
+			ent.mu.Unlock()
+		}
 		if scratches != nil {
 			st.ScratchGets, st.ScratchAllocs = scratches.Stats()
 		}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineCacheByteBudget checks the LRU is byte-counted, not just
+// entry-counted: with a budget sized for only a few engines, a sweep of
+// distinct points keeps the cache near the budget (never the 256-entry
+// default), evictions fire, and answers stay correct.
+func TestEngineCacheByteBudget(t *testing.T) {
+	d := randDataset(t, 60, 3, 2, 3, 0.5, 930)
+	s := NewServer(Config{Parallelism: 2})
+	defer s.Close()
+	ds, err := s.Register("d", d, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size the budget from a real engine+memo footprint: room for ~3.
+	points := randPoints(24, 3, 931)
+	if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points[:1]}); err != nil {
+		t.Fatal(err)
+	}
+	oneEntry := ds.Stats()[0].EngineBytes
+	if oneEntry <= 0 {
+		t.Fatalf("engine bytes not accounted: %+v", ds.Stats())
+	}
+	budget := oneEntry*3 + oneEntry/2
+
+	s2 := NewServer(Config{Parallelism: 2, MaxEngineBytes: budget})
+	defer s2.Close()
+	if _, err := s2.Register("d", d, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Results {
+		for y, v := range want.Results[i].Fractions {
+			if got.Results[i].Fractions[y] != v {
+				t.Fatalf("point %d label %d: budgeted cache answered %v, unbudgeted %v",
+					i, y, got.Results[i].Fractions[y], v)
+			}
+		}
+	}
+	ds2, _ := s2.Dataset("d")
+	st := ds2.Stats()[0]
+	if st.EnginesCached > 4 {
+		t.Fatalf("byte budget ignored: %d engines cached (budget fits ~3), bytes=%d budget=%d",
+			st.EnginesCached, st.EngineBytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 3-engine budget across 24 distinct points: %+v", st)
+	}
+	if st.EngineBytes > budget+oneEntry {
+		t.Fatalf("cache bytes %d stayed above budget %d", st.EngineBytes, budget)
+	}
+}
+
+// TestConfigDefaultsIdempotent pins the sentinel contract: withDefaults is
+// applied both at Open and again on request paths, so a second application
+// must change nothing — in particular the negative "disable/unlimited"
+// sentinels must survive instead of being re-inflated into the defaults.
+func TestConfigDefaultsIdempotent(t *testing.T) {
+	cases := []Config{
+		{},
+		{EngineCacheSize: -1, MaxEngineBytes: -1},
+		{EngineCacheSize: 7, MaxEngineBytes: 1 << 20},
+		{MaxCleanSessions: -1, SessionTTL: -1, MaxRegisterBytes: -1, MaxQueryBytes: -1},
+	}
+	for i, c := range cases {
+		once := c.withDefaults()
+		twice := once.withDefaults()
+		// Logf is a func (not comparable); compare the scalar fields.
+		if once.EngineCacheSize != twice.EngineCacheSize ||
+			once.MaxEngineBytes != twice.MaxEngineBytes ||
+			once.Parallelism != twice.Parallelism ||
+			once.MaxCleanSessions != twice.MaxCleanSessions ||
+			once.SessionTTL != twice.SessionTTL ||
+			once.MaxRegisterBytes != twice.MaxRegisterBytes ||
+			once.MaxQueryBytes != twice.MaxQueryBytes ||
+			once.WALSegmentBytes != twice.WALSegmentBytes {
+			t.Fatalf("case %d: withDefaults not idempotent:\nonce  %+v\ntwice %+v", i, once, twice)
+		}
+	}
+	if c := (Config{EngineCacheSize: -1, MaxEngineBytes: -1}).withDefaults(); c.EngineCacheSize >= 0 || c.MaxEngineBytes >= 0 {
+		t.Fatalf("negative sentinels collapsed: %+v", c)
+	}
+}
+
+// TestQueryMemoRepeatHits checks the per-(dataset, point) retained memo:
+// repeating a batch against an unchanged dataset answers from the memo
+// (full scans stay at one per point) and bit-identically.
+func TestQueryMemoRepeatHits(t *testing.T) {
+	d := randDataset(t, 40, 3, 2, 2, 0.5, 940)
+	s := NewServer(Config{Parallelism: 2})
+	defer s.Close()
+	ds, err := s.Register("d", d, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(8, 2, 941)
+	first, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		again, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range first.Results {
+			for y, v := range first.Results[i].Fractions {
+				if again.Results[i].Fractions[y] != v {
+					t.Fatalf("repeat %d point %d: memo answer diverged", rep, i)
+				}
+			}
+		}
+	}
+	st := ds.Stats()[0]
+	if st.Retained.FullScans != int64(len(points)) {
+		t.Fatalf("want exactly one full scan per point, got %+v", st.Retained)
+	}
+	if st.Retained.MemoHits < int64(3*len(points)) {
+		t.Fatalf("repeats were not memo hits: %+v", st.Retained)
+	}
+}

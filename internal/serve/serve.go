@@ -67,6 +67,17 @@ type Config struct {
 	// EngineCacheSize is the per-(dataset, K) LRU capacity for test-point
 	// engines (0 = DefaultEngineCacheSize, negative = disable caching).
 	EngineCacheSize int
+	// MaxEngineBytes is the approximate heap budget of each per-(dataset, K)
+	// engine LRU — engines plus their retained-tree query memos, byte-counted
+	// rather than entry-counted, so many large engines cannot blow the heap
+	// (0 = DefaultMaxEngineBytes, negative = unlimited). The most recently
+	// used entry is always kept, so a single over-budget engine degrades to
+	// cache-of-one instead of thrashing.
+	MaxEngineBytes int64
+	// DisableQueryMemo turns off the retained-tree batch-query memo: every
+	// batch Q2 runs a full SS-DC sweep — the pre-incremental behavior, kept
+	// as the benchmark/ablation baseline (BenchmarkBatchQ2_FullSweep).
+	DisableQueryMemo bool
 	// MaxCleanSessions caps concurrently live clean sessions
 	// (0 = DefaultMaxCleanSessions, negative = unlimited). Creation beyond
 	// the cap fails with ErrCapacity (HTTP 429).
@@ -106,6 +117,10 @@ type Config struct {
 // Config.EngineCacheSize is zero.
 const DefaultEngineCacheSize = 256
 
+// DefaultMaxEngineBytes is the per-(dataset, K) engine-cache byte budget
+// used when Config.MaxEngineBytes is zero.
+const DefaultMaxEngineBytes = 1 << 30
+
 // Defaults for the session store and HTTP body caps (used when the
 // corresponding Config field is zero).
 const (
@@ -123,11 +138,16 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	// Negative sentinels (disable / unlimited) are preserved, not collapsed
+	// to zero: withDefaults is applied both at Open and again on the request
+	// paths (Dataset.BatchQuery takes a caller Config), so it must be
+	// idempotent — collapsing −1 to 0 here would turn "disabled" back into
+	// the default on the second application.
 	if c.EngineCacheSize == 0 {
 		c.EngineCacheSize = DefaultEngineCacheSize
 	}
-	if c.EngineCacheSize < 0 {
-		c.EngineCacheSize = 0
+	if c.MaxEngineBytes == 0 {
+		c.MaxEngineBytes = DefaultMaxEngineBytes
 	}
 	if c.MaxCleanSessions == 0 {
 		c.MaxCleanSessions = DefaultMaxCleanSessions

@@ -75,7 +75,7 @@ func TestBatchQueryMatchesOneShot(t *testing.T) {
 				t.Fatal(err)
 			}
 			points := randPoints(20, 2, 11)
-			res, err := s.BatchQuery("d", BatchRequest{Points: points})
+			res, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,11 +117,11 @@ func TestBatchQueryMCMatchesSSDC(t *testing.T) {
 		t.Fatal(err)
 	}
 	points := randPoints(10, 2, 5)
-	plain, err := s.BatchQuery("d", BatchRequest{Points: points})
+	plain, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
 	if err != nil {
 		t.Fatal(err)
 	}
-	mc, err := s.BatchQuery("d", BatchRequest{Points: points, UseMC: true})
+	mc, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points, UseMC: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestConcurrentBatchesShareEngines(t *testing.T) {
 		t.Fatal(err)
 	}
 	points := randPoints(8, 2, 17) // few distinct points → guaranteed sharing
-	want, err := s.BatchQuery("d", BatchRequest{Points: points})
+	want, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestConcurrentBatchesShareEngines(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for iter := 0; iter < 5; iter++ {
-				res, err := s.BatchQuery("d", BatchRequest{Points: points})
+				res, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points})
 				if err != nil {
 					errs[g] = err
 					return
@@ -213,7 +213,7 @@ func TestEngineCacheEviction(t *testing.T) {
 	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.BatchQuery("d", BatchRequest{Points: randPoints(9, 2, 23)}); err != nil {
+	if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: randPoints(9, 2, 23)}); err != nil {
 		t.Fatal(err)
 	}
 	ds, _ := s.Dataset("d")
@@ -558,7 +558,7 @@ func TestRegisterDefaultKClampedToN(t *testing.T) {
 	if ds.K() != 2 {
 		t.Fatalf("default K = %d, want clamp to N = 2", ds.K())
 	}
-	if _, err := s.BatchQuery("tiny", BatchRequest{Points: [][]float64{{0.5}}}); err != nil {
+	if _, err := s.BatchQuery(context.Background(), "tiny", BatchRequest{Points: [][]float64{{0.5}}}); err != nil {
 		t.Fatalf("query under clamped default K: %v", err)
 	}
 	// An explicit out-of-range K must still be rejected.

@@ -81,6 +81,10 @@ type Session struct {
 	clean     *CleanSession // nil until the first driver builds it
 	history   []CleanStep   // every executed step, in order
 	snap      sessionSnap
+	// queries is the session's batch-query state: per-point engines pinned
+	// to the executed step history, with retained-tree memos keyed by pin
+	// generation (see squery.go). Built on first Query; dropped on close.
+	queries *sessionQueryCache
 }
 
 // sessionSnap caches the summary fields a driver refreshes after every step
@@ -113,6 +117,9 @@ type SessionStatus struct {
 	Error              string  `json:"error,omitempty"`
 	CreatedAt          string  `json:"created_at"`
 	LastUsedAt         string  `json:"last_used_at"`
+	// QueryMemo reports the session's batch-query memo counters (present
+	// once the session has been queried via POST /v1/clean/{id}/query).
+	QueryMemo *SessionQueryStats `json:"query_memo,omitempty"`
 }
 
 func newSessionID() string {
@@ -409,6 +416,9 @@ func (sess *Session) closeLocked() {
 		sess.clean.Close()
 		sess.clean = nil
 	}
+	// The query cache holds per-point engines + retained memos — the bulk of
+	// a queried session's footprint.
+	sess.queries = nil
 }
 
 // acquire claims the session's single driver slot. A failed session still
@@ -674,6 +684,10 @@ func (sess *Session) Status() SessionStatus {
 		ExaminedHypotheses: sess.snap.examined,
 		CreatedAt:          sess.created.UTC().Format(time.RFC3339Nano),
 		LastUsedAt:         sess.lastUsed.UTC().Format(time.RFC3339Nano),
+	}
+	if sess.queries != nil {
+		qs := sess.queries.statsSnapshot() // atomic counters; no extra locks
+		st.QueryMemo = &qs
 	}
 	switch {
 	case sess.failed != nil:

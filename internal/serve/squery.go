@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// sessionQueryCache answers batch CP queries against a clean session's
+// *current* pin state: per (K, test point) it keeps a private engine with the
+// session's executed cleaning steps applied as pins, plus the retained-tree
+// query memo (core.Retained) keyed by the engine's pin generation. A batch
+// Q2 repeated while the session pins rows therefore reuses the prior tree
+// state — an unchanged session is a pure memo hit, a session that pinned
+// irrelevant rows since is too, and a relevant pin replays only its
+// candidate-span window instead of a full SS-DC sweep.
+//
+// The cache is independent of the session's cleaning engines, so queries run
+// concurrently with the (single-goroutine) driver: the driver appends to the
+// session history under sess.mu, queries snapshot that history and catch
+// their cached engines up pin by pin under each entry's own lock.
+type sessionQueryCache struct {
+	ds       *Dataset
+	cfg      Config
+	capacity int
+	maxBytes int64 // ≤ 0 = unlimited
+
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used *squeryEntry
+	byKey map[string]*list.Element
+	bytes int64 // Σ accounted bytes of cached entries
+
+	// Lifetime counters, surviving entry eviction. queries counts points
+	// answered; the rest mirror core.RetainedStats.
+	queries    atomic.Int64
+	fullScans  atomic.Int64
+	memoHits   atomic.Int64
+	deltaScans atomic.Int64
+	scanned    atomic.Int64
+	avoided    atomic.Int64
+}
+
+// squeryEntry is one (K, point) pinned engine + retained memo. mu serializes
+// use; last holds the retained stats already folded into the cache counters.
+type squeryEntry struct {
+	key   string
+	k     int
+	pt    []float64
+	bytes int64 // accounted engine+retained bytes; updated under cache.mu
+
+	mu       sync.Mutex
+	engine   *core.Engine
+	retained *core.Retained
+	applied  int // session history steps applied as pins
+	last     core.RetainedStats
+}
+
+func newSessionQueryCache(ds *Dataset, cfg Config) *sessionQueryCache {
+	capacity := cfg.EngineCacheSize
+	if capacity <= 0 {
+		// Even with engine caching disabled, session queries need at least
+		// one live entry: a pinned engine is the answer's working state, and
+		// a bounded cache (not none) is what keeps point sweeps from OOMing.
+		capacity = 1
+	}
+	return &sessionQueryCache{
+		ds:       ds,
+		cfg:      cfg,
+		capacity: capacity,
+		maxBytes: cfg.MaxEngineBytes,
+		lru:      list.New(),
+		byKey:    make(map[string]*list.Element),
+	}
+}
+
+// SessionQueryStats is the wire-visible query-memo accounting of one session.
+type SessionQueryStats struct {
+	// Queries counts points answered against the session's pin state.
+	Queries int64 `json:"queries"`
+	// Retained aggregates the memo counters: how many answers came from the
+	// memo verbatim, from a windowed delta replay, or from a full sweep, and
+	// the boundary-candidate scans performed versus avoided.
+	Retained core.RetainedStats `json:"retained"`
+}
+
+func (q *sessionQueryCache) statsSnapshot() SessionQueryStats {
+	return SessionQueryStats{
+		Queries: q.queries.Load(),
+		Retained: core.RetainedStats{
+			FullScans:         q.fullScans.Load(),
+			MemoHits:          q.memoHits.Load(),
+			DeltaScans:        q.deltaScans.Load(),
+			CandidatesScanned: q.scanned.Load(),
+			CandidatesAvoided: q.avoided.Load(),
+		},
+	}
+}
+
+// entry returns (creating if needed) the cache entry for (pt, k).
+func (q *sessionQueryCache) entry(pt []float64, k int) *squeryEntry {
+	key := strconv.Itoa(k) + "|" + pointKey(pt)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if el, ok := q.byKey[key]; ok {
+		q.lru.MoveToFront(el)
+		return el.Value.(*squeryEntry)
+	}
+	ent := &squeryEntry{key: key, k: k, pt: pt}
+	q.byKey[key] = q.lru.PushFront(ent)
+	q.evictLocked()
+	return ent
+}
+
+// evictLocked applies the entry and byte budgets (same policy as the engine
+// pool: the most recent entry always stays). Caller holds q.mu.
+func (q *sessionQueryCache) evictLocked() {
+	for q.lru.Len() > q.capacity ||
+		(q.maxBytes > 0 && q.bytes > q.maxBytes && q.lru.Len() > 1) {
+		back := q.lru.Back()
+		ent := back.Value.(*squeryEntry)
+		delete(q.byKey, ent.key)
+		q.lru.Remove(back)
+		q.bytes -= ent.bytes
+	}
+}
+
+// reaccount refreshes an entry's byte estimate after a query grew its
+// retained state, re-applying the byte budget.
+func (q *sessionQueryCache) reaccount(ent *squeryEntry, newBytes int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byKey[ent.key]; !ok {
+		return // already evicted; nothing is accounted for it
+	}
+	q.bytes += newBytes - ent.bytes
+	ent.bytes = newBytes
+	q.evictLocked()
+}
+
+// queryPoint answers one point under the pins of hist (the session's
+// executed steps): the cached engine is caught up on any steps it has not
+// seen, then the retained memo answers — O(1) when nothing relevant changed.
+func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC bool) (PointResult, error) {
+	ent.mu.Lock()
+	defer ent.mu.Unlock()
+	if ent.engine == nil {
+		ent.engine = core.NewEngine(q.ds.data, q.ds.kernel, ent.pt)
+		rt, err := core.NewRetained(ent.engine, ent.k, useMC, q.ds.pool(ent.k, q.cfg).scratchesFor(ent.engine))
+		if err != nil {
+			ent.engine = nil
+			return PointResult{}, err
+		}
+		ent.retained = rt
+	}
+	// Catch the engine up on cleaning steps executed since the last query of
+	// this point. Pins only ever accumulate (the history is append-only), so
+	// the delta is exactly hist[applied:].
+	for ; ent.applied < len(hist); ent.applied++ {
+		st := hist[ent.applied]
+		ent.engine.SetPin(st.Row, st.Candidate)
+	}
+	if ent.retained.UseMC() != useMC {
+		// Mode flip on a warm entry: answer with a plain sweep rather than
+		// thrash the retained accumulator.
+		sp := q.ds.pool(ent.k, q.cfg).scratchesFor(ent.engine)
+		sc := sp.Get()
+		defer sp.Put(sc)
+		q.queries.Add(1)
+		return queryEngine(ent.engine, sc, ent.k, useMC)
+	}
+	if q.cfg.DisableQueryMemo {
+		// Ablation baseline: force the full sweep through the same code path
+		// so the scan counters stay comparable.
+		ent.retained.Invalidate()
+	}
+	counts := ent.retained.Counts()
+	r, err := assemblePointResult(ent.engine, ent.k, append([]float64(nil), counts...))
+	q.queries.Add(1)
+	s := ent.retained.Stats()
+	q.fullScans.Add(s.FullScans - ent.last.FullScans)
+	q.memoHits.Add(s.MemoHits - ent.last.MemoHits)
+	q.deltaScans.Add(s.DeltaScans - ent.last.DeltaScans)
+	q.scanned.Add(s.CandidatesScanned - ent.last.CandidatesScanned)
+	q.avoided.Add(s.CandidatesAvoided - ent.last.CandidatesAvoided)
+	ent.last = s
+	q.reaccount(ent, ent.engine.ApproxBytes()+ent.retained.ApproxBytes())
+	return r, err
+}
+
+// Query answers a batch CP query against the session's current cleaning
+// state: every executed step so far is applied as a pin, exactly as if the
+// dataset had been partially cleaned. It is safe to call while a driver is
+// stepping the session — each answer reflects a consistent prefix of the
+// step history — and repeated batches reuse the per-point retained tree
+// state across pins (see sessionQueryCache). Canceling ctx abandons the
+// remaining points, as in Server.BatchQuery.
+func (sess *Session) Query(ctx context.Context, req BatchRequest) (*BatchResult, error) {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("%w: clean session %q", ErrGone, sess.id)
+	}
+	if sess.queries == nil {
+		sess.queries = newSessionQueryCache(sess.ds, sess.server.cfg)
+	}
+	q := sess.queries
+	hist := sess.history[:len(sess.history):len(sess.history)]
+	sess.lastUsed = time.Now()
+	sess.mu.Unlock()
+
+	k := sess.k
+	if req.K != 0 {
+		var err error
+		if k, err = sess.ds.resolveK(req.K); err != nil {
+			return nil, err
+		}
+	}
+	dim := sess.ds.dim()
+	for i, t := range req.Points {
+		if len(t) != dim {
+			return nil, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
+		}
+	}
+	cfg := sess.server.cfg.withDefaults()
+	res := &BatchResult{K: k, Results: make([]PointResult, len(req.Points))}
+	workers := cfg.Parallelism
+	if workers > len(req.Points) {
+		workers = len(req.Points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range work {
+				if errs[w] != nil || ctx.Err() != nil {
+					continue // keep draining so senders never block
+				}
+				ent := q.entry(req.Points[i], k)
+				r, qerr := q.queryPoint(ent, hist, req.UseMC)
+				if qerr != nil {
+					errs[w] = qerr
+					continue
+				}
+				res.Results[i] = r
+			}
+		}(w)
+	}
+feed:
+	for i := range req.Points {
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: session query abandoned: %w", err)
+	}
+	for _, werr := range errs {
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	certain := 0
+	for _, r := range res.Results {
+		if r.Certain {
+			certain++
+		}
+	}
+	if len(res.Results) > 0 {
+		res.CertainFraction = float64(certain) / float64(len(res.Results))
+	}
+	return res, nil
+}
+
+// QueryStats snapshots the session's query-memo counters (zero when the
+// session was never queried).
+func (sess *Session) QueryStats() SessionQueryStats {
+	sess.mu.Lock()
+	q := sess.queries
+	sess.mu.Unlock()
+	if q == nil {
+		return SessionQueryStats{}
+	}
+	return q.statsSnapshot()
+}

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"repro/internal/durable"
+)
+
+// ServerStats is the GET /v1/stats payload: registry and session counts,
+// per-dataset engine-pool counters (cache hits, byte budgets, retained
+// query-memo reuse), the aggregated session query-memo totals, and — for a
+// durable server — the WAL health metrics (fsync count/latency, segment and
+// snapshot counts, last replay cost).
+type ServerStats struct {
+	Datasets      int                    `json:"datasets"`
+	CleanSessions int                    `json:"clean_sessions"`
+	Pools         map[string][]PoolStats `json:"pools,omitempty"`
+	// SessionQueries aggregates every live session's pin-state query memo.
+	SessionQueries SessionQueryStats `json:"session_queries"`
+	// WAL is present only when the server runs with a data directory.
+	WAL *durable.Metrics `json:"wal,omitempty"`
+}
+
+// Stats snapshots the server's serving and durability counters.
+func (s *Server) Stats() ServerStats {
+	st := ServerStats{Pools: make(map[string][]PoolStats)}
+	s.mu.RLock()
+	datasets := make([]*Dataset, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		datasets = append(datasets, ds)
+	}
+	s.mu.RUnlock()
+	st.Datasets = len(datasets)
+	for _, ds := range datasets {
+		if pools := ds.Stats(); len(pools) > 0 {
+			st.Pools[ds.Name()] = pools
+		}
+	}
+	st.CleanSessions = s.CleanSessionCount()
+	st.SessionQueries = s.sessions.queryStatsTotals()
+	if s.journal != nil {
+		m := s.journal.store.Metrics()
+		st.WAL = &m
+	}
+	return st
+}
+
+// queryStatsTotals sums the query-memo counters of every live session.
+func (st *sessionStore) queryStatsTotals() SessionQueryStats {
+	st.mu.Lock()
+	sessions := make([]*Session, 0, len(st.live))
+	for _, sess := range st.live {
+		sessions = append(sessions, sess)
+	}
+	st.mu.Unlock()
+	var total SessionQueryStats
+	for _, sess := range sessions {
+		qs := sess.QueryStats()
+		total.Queries += qs.Queries
+		total.Retained.Add(qs.Retained)
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestStatsEndpoint drives a durable server through registrations, queries,
+// and a clean session, then checks GET /v1/stats surfaces the serving
+// counters and the WAL metrics (fsync count/latency, segment counts, replay
+// duration) the ops runbook watches.
+func TestStatsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *Server {
+		s, err := Open(Config{
+			Parallelism:     2,
+			DataDir:         dir,
+			WALSyncInterval: -1, // fsync every append: deterministic counters
+			Logf:            t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s := open()
+	d := randDataset(t, 30, 3, 2, 2, 0.6, 990)
+	if _, err := s.Register("d", d, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(4, 2, 991)
+	if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points}); err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, d.N())
+	sess, err := s.StartCleanSession("d", CleanRequest{Truth: truth, ValPoints: randPoints(3, 2, 992)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Next(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Query(context.Background(), BatchRequest{Points: points}); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(Handler(s))
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServerStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if st.Datasets != 1 || st.CleanSessions != 1 {
+		t.Fatalf("counts: %+v", st)
+	}
+	pools, ok := st.Pools["d"]
+	if !ok || len(pools) == 0 || pools[0].EngineBuilds == 0 || pools[0].EngineBytes == 0 {
+		t.Fatalf("pool stats missing: %+v", st.Pools)
+	}
+	if st.SessionQueries.Queries != int64(len(points)) {
+		t.Fatalf("session query totals: %+v", st.SessionQueries)
+	}
+	if st.WAL == nil {
+		t.Fatal("durable server reported no WAL metrics")
+	}
+	if st.WAL.FsyncCount == 0 || st.WAL.SegmentCount == 0 || st.WAL.AppendedRecords == 0 {
+		t.Fatalf("WAL metrics empty: %+v", st.WAL)
+	}
+	if st.WAL.SyncedRecords != st.WAL.AppendedRecords {
+		t.Fatalf("sync-every-append store left records unsynced: %+v", st.WAL)
+	}
+
+	// Restart: the replay cost must be visible.
+	s.Close()
+	s2 := open()
+	defer s2.Close()
+	m := s2.Stats().WAL
+	if m == nil || m.LastReplayRecords == 0 {
+		t.Fatalf("replay metrics empty after restart: %+v", m)
+	}
+	if m.LastReplayMicros < 0 || time.Duration(m.LastReplayMicros)*time.Microsecond > time.Minute {
+		t.Fatalf("implausible replay duration: %+v", m)
+	}
+
+	// In-memory servers must omit WAL metrics entirely.
+	mem := NewServer(Config{})
+	defer mem.Close()
+	if mem.Stats().WAL != nil {
+		t.Fatal("in-memory server reported WAL metrics")
+	}
+}
