@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify verify-docs clean
+.PHONY: build vet test race bench verify verify-static verify-docs clean
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ test:
 
 # Race-check the concurrency-heavy packages: the serving layer (shared
 # engines + pooled scratches), the cleaning loop, the shared selection
-# engine (parallel hypothesis sweeps over memoized per-point state), and
-# the WAL (group-commit flusher vs concurrent appenders).
+# engine (parallel hypothesis sweeps over memoized per-point state), the
+# WAL (group-commit flusher vs concurrent appenders), and the segment tree
+# (read-mostly purity queries under concurrent batch drivers).
 race:
-	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/... ./internal/durable/...
+	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/... ./internal/durable/... ./internal/segtree/...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
@@ -29,8 +30,18 @@ bench:
 verify-docs: vet
 	$(GO) run ./internal/tools/docverify README.md docs/ARCHITECTURE.md
 
-# Tier-1 gate plus the race suite and the docs check (which runs vet).
-verify: build test race verify-docs
+# Static analysis: the project-invariant analyzer suite (cpvet, always —
+# stdlib-only, so it runs anywhere the toolchain does), then staticcheck and
+# govulncheck when their binaries are installed (CI installs them; offline
+# dev boxes skip with a note rather than failing the target).
+verify-static:
+	$(GO) run ./cmd/cpvet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "verify-static: staticcheck not installed; skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; else echo "verify-static: govulncheck not installed; skipping"; fi
+
+# Tier-1 gate plus the race suite, static analysis, and the docs check
+# (which runs vet).
+verify: build test race verify-static verify-docs
 
 clean:
 	rm -f cpbench cpclean cpquery cpserve datagen *.test *.prof

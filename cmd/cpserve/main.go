@@ -195,7 +195,8 @@ func registerTrain(srv *serve.Server, path, name string, k, maxCands int) {
 		fatalf("%v", err)
 	}
 	train, err := table.ReadCSV(f)
-	f.Close()
+	// Read-only file; a close error cannot lose data and the read error wins.
+	_ = f.Close()
 	if err != nil {
 		fatalf("reading %s: %v", path, err)
 	}

@@ -1,0 +1,60 @@
+// Command cpvet runs the project-invariant analyzer suite (see
+// internal/tools/cpvet) over the repository and exits nonzero if any
+// finding survives the //cpvet:allow annotations.
+//
+// Usage:
+//
+//	go run ./cmd/cpvet [packages]
+//
+// Packages default to ./... relative to the module root, so `make
+// verify-static` and CI both lint the whole repository regardless of the
+// working directory they start in.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tools/cpvet"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cpvet:", err)
+		os.Exit(2)
+	}
+	diags, err := cpvet.Run(root, patterns, cpvet.All(), cpvet.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cpvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot locates the enclosing module so package patterns resolve the
+// same way from any working directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}

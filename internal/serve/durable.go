@@ -29,9 +29,10 @@ package serve
 // sequence (rows, candidates, examined_hypotheses) bit-identical.
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -39,6 +40,18 @@ import (
 	"repro/internal/durable"
 	"repro/internal/knn"
 )
+
+// sortedKeys returns m's keys in ascending order — the sanctioned way to
+// iterate a map inside //cpvet:deterministic scope, where raw map ranges are
+// rejected by the maporder analyzer.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
 
 // persistedDataset is the journaled form of one registration: the full
 // content (candidates round-trip bit-exactly through JSON — Go emits the
@@ -134,6 +147,10 @@ func kernelSpecFor(k knn.Kernel) (KernelSpec, bool) {
 	return KernelSpec{}, false
 }
 
+// persisted serializes the registration for the journal. Its output is
+// journaled and replayed, so emission order must be deterministic.
+//
+//cpvet:deterministic
 func (d *Dataset) persisted() persistedDataset {
 	examples := make([]exampleJSON, d.data.N())
 	for i := range d.data.Examples {
@@ -362,6 +379,8 @@ func (s *Server) journalSessionReleaseStart(sess *Session) (commit func() error,
 // must include every record appended before the enclosing Compact sealed
 // the old segment — guaranteed because each journaling site updates the
 // in-memory structures before (or under the same lock as) its append.
+//
+//cpvet:deterministic
 func (s *Server) snapshotState() ([]byte, error) {
 	var ps persistedState
 	s.mu.RLock()
@@ -383,12 +402,7 @@ func (s *Server) snapshotState() ([]byte, error) {
 		st.mu.Unlock()
 		return nil, fmt.Errorf("serve: shutting down; snapshot aborted")
 	}
-	ids := make([]string, 0, len(st.live))
-	for id := range st.live {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range sortedKeys(st.live) {
 		sess := st.live[id]
 		if !sess.ds.persistable {
 			continue
@@ -421,6 +435,7 @@ func (s *Server) snapshotState() ([]byte, error) {
 	}
 	if len(st.tombstones) > 0 {
 		ps.Tombstones = make(map[string]time.Time, len(st.tombstones))
+		//cpvet:allow maporder -- copied map-to-map; iteration order cannot reach the JSON output
 		for id, at := range st.tombstones {
 			ps.Tombstones[id] = at
 		}
@@ -435,6 +450,8 @@ func (s *Server) snapshotState() ([]byte, error) {
 // store. Individual unusable entries are dropped with a warning (recovery
 // must not be a startup crash); only a snapshot the server itself cannot
 // decode fails the open.
+//
+//cpvet:deterministic
 func (s *Server) recoverFrom(st *durable.Store) error {
 	if b := st.Snapshot(); b != nil {
 		var ps persistedState
@@ -447,6 +464,7 @@ func (s *Server) recoverFrom(st *durable.Store) error {
 		for _, psess := range ps.Sessions {
 			s.recoverSession(psess)
 		}
+		//cpvet:allow maporder -- copied map-to-map; iteration order cannot reach recovered state
 		for id, at := range ps.Tombstones {
 			s.sessions.tombstones[id] = at
 		}
@@ -461,6 +479,8 @@ func (s *Server) recoverFrom(st *durable.Store) error {
 // already-present name with the same fingerprint is a no-op (snapshot/WAL
 // overlap after an interrupted compaction), a different fingerprint is
 // dropped with a warning.
+//
+//cpvet:deterministic
 func (s *Server) recoverDataset(pd persistedDataset) {
 	if old, ok := s.datasets[pd.Name]; ok {
 		if old.fingerprint != pd.Fingerprint {
@@ -511,6 +531,8 @@ var closedReady = func() chan struct{} {
 // + history only; engines and selection memos are rebuilt by the first
 // driver (ensureBuilt), which re-executes the history through the selector
 // so the continuation is bit-identical to an uninterrupted run.
+//
+//cpvet:deterministic
 func (s *Server) recoverSession(ps persistedSession) {
 	ds, ok := s.datasets[ps.Dataset]
 	if !ok {
@@ -530,7 +552,7 @@ func (s *Server) recoverSession(ps persistedSession) {
 		ds:       ds,
 		k:        ps.K,
 		created:  ps.Created,
-		lastUsed: time.Now(), // the idle clock restarts at recovery, not at downtime start
+		lastUsed: time.Now(), //cpvet:allow nowalltime -- idle clock restarts at recovery; never persisted or replayed
 		history:  ps.History,
 	}
 	sess.snap.steps = len(ps.History)
@@ -569,6 +591,8 @@ func (s *Server) recoverSession(ps persistedSession) {
 // applyRecord folds one WAL record into the recovering server. Tolerant and
 // idempotent: unknown sessions, duplicate events, and overlap with the
 // snapshot are warnings or no-ops, never startup failures.
+//
+//cpvet:deterministic
 func (s *Server) applyRecord(rec durable.Record) {
 	fail := func(err error) {
 		s.logf("serve: recovery: skipping %s record for %s: %v", rec.Type, rec.Entity, err)
@@ -648,7 +672,7 @@ func (s *Server) applyRecord(rec durable.Record) {
 		delete(s.sessions.live, er.ID)
 		at := er.At
 		if at.IsZero() {
-			at = time.Now()
+			at = time.Now() //cpvet:allow nowalltime -- legacy expire record without a timestamp; TTL-only, never replayed downstream
 		}
 		s.sessions.tombstones[er.ID] = at
 	case "release":

@@ -1,0 +1,143 @@
+// Package cpvet is a project-invariant analyzer suite: five small static
+// analyzers that mechanically enforce the determinism, cancellation, and
+// durability contracts the serving and persistence layers are built on —
+// the invariants that, before this package, lived only in comments and in
+// lockstep tests that catch violations after they ship.
+//
+// The suite deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) but is implemented entirely on the standard
+// library: packages are enumerated with `go list -export -json -deps` and
+// type-checked with go/types against the gc export data the go command
+// already produced, so the tool builds and runs with no dependencies beyond
+// the toolchain itself.
+//
+// # Analyzers
+//
+//   - maporder: flags `range` over a map inside deterministic scope
+//     (replay-, journal-, and accumulation-order-critical code); map
+//     iteration order is randomized per run, so any order-sensitive
+//     consumer diverges between replays — iterate sorted keys instead.
+//   - ctxflow: flags code in the serving layer that drops, ignores, or
+//     replaces an incoming context.Context (the PR-5 bug class: a stream
+//     that kept stepping for a disconnected client).
+//   - errmap: checks the serve sentinel set is exhaustively handled by the
+//     HTTP status mapping, that handlers never bypass it with raw
+//     http.Error, and that Close/Flush/Sync errors in the durability and
+//     shutdown paths are checked or explicitly discarded.
+//   - walframe: flags raw *os.File writes and renames inside the WAL
+//     package that bypass the CRC-framed append / atomic tmp+rename
+//     helpers (and any raw file mutation in packages that must go through
+//     the durable API).
+//   - nowalltime: flags time.Now/time.Since/time.Until and math/rand use
+//     in deterministic scope — wall-clock or randomness in a replayed
+//     computation breaks bit-for-bit recovery.
+//
+// # Escape hatch
+//
+// A finding that is deliberate is silenced with an annotation on its line,
+// the line above, or the enclosing function's doc comment:
+//
+//	//cpvet:allow maporder -- keys are copied into a map; order cannot matter
+//
+// The reason after `--` is conventionally required by review, not by the
+// tool. A function whose doc comment carries `//cpvet:deterministic` opts
+// its body into deterministic scope even outside the configured
+// deterministic packages.
+package cpvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check, the cpvet analogue of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //cpvet:allow
+	// annotations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects one package and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test source files. Test files are exempt
+	// from every analyzer by construction: the contracts guard production
+	// replay/serving paths, and tests legitimately use wall time, fresh
+	// contexts, and raw file IO.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Config    *Config
+
+	dirs  *directives
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding at a resolved source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// pkgFunc resolves a selector expression to (package path, function name)
+// when it is a direct call target like time.Now or os.Rename. ok is false
+// for method calls and non-package selectors.
+func (p *Pass) pkgFunc(fun ast.Expr) (pkgPath, name string, ok bool) {
+	sel, isSel := fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// methodOn reports whether fun is a method selector named name whose
+// receiver's type (after pointer indirection) is the named type pkgPath.tname.
+func (p *Pass) methodOn(fun ast.Expr, pkgPath, tname, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := p.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == tname
+}

@@ -1,0 +1,66 @@
+package cpvet
+
+// Config is the shared analyzer configuration: which packages are in each
+// analyzer's scope and which symbols anchor the error-mapping checks. The
+// zero value disables every analyzer; use DefaultConfig for this repository's
+// contracts.
+type Config struct {
+	// DeterministicPkgs lists import paths whose every function is
+	// replay-/accumulation-order-critical. maporder and nowalltime apply to
+	// all code in these packages; elsewhere they apply only to functions
+	// whose doc comment carries //cpvet:deterministic.
+	DeterministicPkgs map[string]bool
+
+	// CtxPkgs lists import paths whose exported blocking entry points must
+	// thread an incoming context.Context instead of minting a fresh one.
+	CtxPkgs map[string]bool
+
+	// SentinelPkg is the import path declaring the Err* sentinel variables
+	// and the status-mapping function named StatusFunc. errmap checks the
+	// mapping is exhaustive over the sentinels and that no file in the
+	// package calls http.Error directly.
+	SentinelPkg string
+	StatusFunc  string
+
+	// CloseCheckPkgs lists import paths where a Close/Flush/Sync error must
+	// be checked or explicitly discarded with `_ =`.
+	CloseCheckPkgs map[string]bool
+
+	// WALPkg is the import path of the CRC-framed WAL implementation.
+	// walframe flags raw file mutation there outside functions annotated
+	// //cpvet:allow walframe (the sanctioned framing/rename helpers), and
+	// flags any raw file mutation at all in WALClientPkgs, which must go
+	// through the WAL API.
+	WALPkg        string
+	WALClientPkgs map[string]bool
+}
+
+// DefaultConfig returns the contract scopes for this repository.
+func DefaultConfig() *Config {
+	return &Config{
+		DeterministicPkgs: map[string]bool{
+			// Purity re-summation: TestPathIndependence pins that any insert
+			// order yields identical summaries.
+			"repro/internal/segtree": true,
+			// Eq.4 entropy scoring and its memo keys: pinned by
+			// TestRetainedRescoreLockstep.
+			"repro/internal/selection": true,
+			// WAL replay and snapshot/compaction: pinned by
+			// TestDurableKillRestartLockstep and TestTornTailSweep.
+			"repro/internal/durable": true,
+		},
+		CtxPkgs: map[string]bool{
+			"repro/internal/serve": true,
+		},
+		SentinelPkg: "repro/internal/serve",
+		StatusFunc:  "errStatus",
+		CloseCheckPkgs: map[string]bool{
+			"repro/internal/durable": true,
+			"repro/cmd/cpserve":      true,
+		},
+		WALPkg: "repro/internal/durable",
+		WALClientPkgs: map[string]bool{
+			"repro/internal/serve": true,
+		},
+	}
+}

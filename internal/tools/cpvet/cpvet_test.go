@@ -1,0 +1,96 @@
+package cpvet_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tools/cpvet"
+	"repro/internal/tools/cpvet/vettest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestMapOrderDeterministicPackage(t *testing.T) {
+	cfg := &cpvet.Config{DeterministicPkgs: map[string]bool{"fix/maporder": true}}
+	vettest.Run(t, fixture("maporder"), "fix/maporder", []*cpvet.Analyzer{cpvet.MapOrder}, cfg)
+}
+
+func TestMapOrderFunctionTag(t *testing.T) {
+	// No deterministic packages: only //cpvet:deterministic functions are in
+	// scope.
+	vettest.Run(t, fixture("maporderfunc"), "fix/maporderfunc", []*cpvet.Analyzer{cpvet.MapOrder}, &cpvet.Config{})
+}
+
+func TestCtxFlow(t *testing.T) {
+	cfg := &cpvet.Config{CtxPkgs: map[string]bool{"fix/ctxflow": true}}
+	vettest.Run(t, fixture("ctxflow"), "fix/ctxflow", []*cpvet.Analyzer{cpvet.CtxFlow}, cfg)
+}
+
+func TestErrMap(t *testing.T) {
+	cfg := &cpvet.Config{
+		SentinelPkg:    "fix/errmap",
+		StatusFunc:     "errStatus",
+		CloseCheckPkgs: map[string]bool{"fix/errmap": true},
+	}
+	vettest.Run(t, fixture("errmap"), "fix/errmap", []*cpvet.Analyzer{cpvet.ErrMap}, cfg)
+}
+
+func TestErrMapMissingStatusFunc(t *testing.T) {
+	cfg := &cpvet.Config{SentinelPkg: "fix/errmapnofunc", StatusFunc: "errStatus"}
+	vettest.Run(t, fixture("errmapnofunc"), "fix/errmapnofunc", []*cpvet.Analyzer{cpvet.ErrMap}, cfg)
+}
+
+func TestWALFrame(t *testing.T) {
+	cfg := &cpvet.Config{WALPkg: "fix/walframe"}
+	vettest.Run(t, fixture("walframe"), "fix/walframe", []*cpvet.Analyzer{cpvet.WALFrame}, cfg)
+}
+
+func TestWALFrameClient(t *testing.T) {
+	cfg := &cpvet.Config{WALClientPkgs: map[string]bool{"fix/walclient": true}}
+	vettest.Run(t, fixture("walclient"), "fix/walclient", []*cpvet.Analyzer{cpvet.WALFrame}, cfg)
+}
+
+func TestNoWallTime(t *testing.T) {
+	cfg := &cpvet.Config{DeterministicPkgs: map[string]bool{"fix/nowalltime": true}}
+	vettest.Run(t, fixture("nowalltime"), "fix/nowalltime", []*cpvet.Analyzer{cpvet.NoWallTime}, cfg)
+}
+
+// TestRepoLintsClean is the integration check behind `make verify-static`:
+// the full suite with the repository's own config must report nothing on the
+// repository itself.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list over the whole module")
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := cpvet.Run(root, []string{"./..."}, cpvet.All(), cpvet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,144 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow flags serving-layer code that severs an incoming cancellation
+// chain — the PR-5 bug class, where a batch stream kept stepping for a
+// client that had already disconnected.
+//
+// Inside the configured context-discipline packages it reports:
+//
+//   - a call to context.Background() or context.TODO() inside a function
+//     that already receives a context.Context or *http.Request, which
+//     replaces (or shadows) the caller's cancellation with an uncancelable
+//     one;
+//   - an exported function or method whose context.Context parameter is
+//     blank (_) or never referenced in the body — the context was dropped
+//     before any blocking work it guards.
+//
+// Deriving a new context from the incoming one (context.WithTimeout(ctx, …))
+// is fine: only Background/TODO sever the chain.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags dropped, shadowed, or replaced incoming context.Context in the serving layer",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) error {
+	if !p.Config.CtxPkgs[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParams, hasIncoming := incomingCtx(p, fd)
+			if hasIncoming {
+				flagFreshContexts(p, fd)
+			}
+			if fd.Name.IsExported() {
+				flagDroppedCtx(p, fd, ctxParams)
+			}
+		}
+	}
+	return nil
+}
+
+// incomingCtx returns the function's context.Context parameter objects and
+// whether the function receives cancellation at all (a ctx param or an
+// *http.Request, whose Context() carries it).
+func incomingCtx(p *Pass, fd *ast.FuncDecl) (ctxParams []*paramIdent, hasIncoming bool) {
+	if fd.Type.Params == nil {
+		return nil, false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := p.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		if isContextType(tv.Type) {
+			hasIncoming = true
+			for _, name := range field.Names {
+				ctxParams = append(ctxParams, &paramIdent{name: name, obj: p.TypesInfo.Defs[name]})
+			}
+		}
+		if isHTTPRequestPtr(tv.Type) {
+			hasIncoming = true
+		}
+	}
+	return ctxParams, hasIncoming
+}
+
+type paramIdent struct {
+	name *ast.Ident
+	obj  types.Object
+}
+
+// flagFreshContexts reports context.Background/TODO calls in the body of a
+// function that already has an incoming context.
+func flagFreshContexts(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := p.pkgFunc(call.Fun)
+		if !ok || pkg != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		p.Reportf(call.Pos(), "context.%s replaces the incoming context in %s; thread the caller's context so cancellation propagates", name, fd.Name.Name)
+		return true
+	})
+}
+
+// flagDroppedCtx reports exported entry points whose context parameter is
+// blank or unused.
+func flagDroppedCtx(p *Pass, fd *ast.FuncDecl, ctxParams []*paramIdent) {
+	for _, cp := range ctxParams {
+		if cp.name.Name == "_" {
+			p.Reportf(cp.name.Pos(), "exported %s discards its context.Context parameter; cancellation cannot propagate", fd.Name.Name)
+			continue
+		}
+		if cp.obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && p.TypesInfo.Uses[id] == cp.obj {
+				used = true
+			}
+			return true
+		})
+		if !used {
+			p.Reportf(cp.name.Pos(), "exported %s never uses its context.Context parameter %s; cancellation cannot propagate", fd.Name.Name, cp.name.Name)
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request"
+}

@@ -1,0 +1,148 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directives holds the parsed //cpvet:... annotations of one package.
+type directives struct {
+	// allowLine maps filename → line → analyzer names silenced on that
+	// line. An annotation suppresses findings on its own line and on the
+	// line below it (so it can sit above a long statement).
+	allowLine map[string]map[int]map[string]bool
+	// allowFunc maps filename → function line ranges whose doc comment
+	// silences the named analyzers for the whole body.
+	allowFunc map[string][]funcRange
+	// detFunc maps filename → function line ranges whose doc comment
+	// carries //cpvet:deterministic, opting the body into deterministic
+	// scope.
+	detFunc map[string][]lineRange
+}
+
+type lineRange struct{ start, end int }
+
+type funcRange struct {
+	lineRange
+	names map[string]bool
+}
+
+// parseDirectives scans every comment of the package's files.
+func parseDirectives(fset *token.FileSet, files []*ast.File) *directives {
+	d := &directives{
+		allowLine: make(map[string]map[int]map[string]bool),
+		allowFunc: make(map[string][]funcRange),
+		detFunc:   make(map[string][]lineRange),
+	}
+	for _, f := range files {
+		docs := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docs[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			fd := docs[cg]
+			for _, c := range cg.List {
+				names, det, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if fd != nil {
+					r := lineRange{
+						start: fset.Position(fd.Pos()).Line,
+						end:   fset.Position(fd.End()).Line,
+					}
+					if det {
+						d.detFunc[pos.Filename] = append(d.detFunc[pos.Filename], r)
+					}
+					if len(names) > 0 {
+						d.allowFunc[pos.Filename] = append(d.allowFunc[pos.Filename], funcRange{r, names})
+					}
+					continue
+				}
+				if len(names) > 0 {
+					lines := d.allowLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						d.allowLine[pos.Filename] = lines
+					}
+					for _, ln := range []int{pos.Line, pos.Line + 1} {
+						set := lines[ln]
+						if set == nil {
+							set = make(map[string]bool)
+							lines[ln] = set
+						}
+						for n := range names {
+							set[n] = true
+						}
+					}
+				}
+				// A //cpvet:deterministic outside a func doc comment has no
+				// range to scope to; it is ignored rather than guessed at.
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective decodes one comment. It returns the allowed analyzer names
+// (empty for a pure deterministic tag), whether the comment carries the
+// deterministic tag, and whether it is a cpvet directive at all.
+func parseDirective(text string) (names map[string]bool, det bool, ok bool) {
+	const allowPrefix = "//cpvet:allow"
+	const detTag = "//cpvet:deterministic"
+	if strings.HasPrefix(text, detTag) {
+		return nil, true, true
+	}
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, false, false
+	}
+	rest := text[len(allowPrefix):]
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = rest[:reason]
+	}
+	names = make(map[string]bool)
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names, false, true
+}
+
+// allowed reports whether a finding by analyzer at pos is silenced.
+func (d *directives) allowed(analyzer string, pos token.Position) bool {
+	if set := d.allowLine[pos.Filename][pos.Line]; set[analyzer] {
+		return true
+	}
+	for _, fr := range d.allowFunc[pos.Filename] {
+		if fr.names[analyzer] && pos.Line >= fr.start && pos.Line <= fr.end {
+			return true
+		}
+	}
+	return false
+}
+
+// deterministicAt reports whether pos sits inside a //cpvet:deterministic
+// function.
+func (d *directives) deterministicAt(pos token.Position) bool {
+	for _, r := range d.detFunc[pos.Filename] {
+		if pos.Line >= r.start && pos.Line <= r.end {
+			return true
+		}
+	}
+	return false
+}
+
+// InDeterministicScope reports whether pos is replay-order-critical: either
+// the whole package is configured deterministic, or pos falls inside a
+// function tagged //cpvet:deterministic.
+func (p *Pass) InDeterministicScope(pos token.Pos) bool {
+	if p.Config.DeterministicPkgs[p.Pkg.Path()] {
+		return true
+	}
+	return p.dirs.deterministicAt(p.Fset.Position(pos))
+}

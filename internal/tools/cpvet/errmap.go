@@ -1,0 +1,170 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ErrMap enforces the error-mapping and error-hygiene contracts around the
+// serving and durability layers:
+//
+//   - every Err* sentinel declared at package level in the sentinel package
+//     must be referenced by the HTTP status mapping function (errStatus), so
+//     adding a sentinel without teaching the mapper is a build-time failure
+//     instead of a surprise 500 (the PR-2 bug class: 404 vs 400);
+//   - the sentinel package must not call http.Error directly — raw status
+//     writes bypass the single mapping point;
+//   - in the configured durability/shutdown packages, an error returned by
+//     Close, Flush, or Sync must be checked or deliberately discarded with
+//     `_ =` and a comment; a bare expression or defer statement silently
+//     drops it, and a dropped Close error on a WAL segment is a lost write.
+var ErrMap = &Analyzer{
+	Name: "errmap",
+	Doc:  "checks sentinel→status exhaustiveness, bans raw http.Error, and flags discarded Close/Flush/Sync errors",
+	Run:  runErrMap,
+}
+
+func runErrMap(p *Pass) error {
+	if p.Pkg.Path() == p.Config.SentinelPkg {
+		checkSentinelCoverage(p)
+		checkRawHTTPError(p)
+	}
+	if p.Config.CloseCheckPkgs[p.Pkg.Path()] {
+		checkDiscardedCloseErrors(p)
+	}
+	return nil
+}
+
+// checkSentinelCoverage verifies the status mapping function references every
+// package-level Err* sentinel of type error.
+func checkSentinelCoverage(p *Pass) {
+	sentinels := make(map[types.Object]bool)
+	scope := p.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Err") || len(name) == len("Err") {
+			continue
+		}
+		obj, ok := scope.Lookup(name).(*types.Var)
+		if !ok || !types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			continue
+		}
+		sentinels[obj] = true
+	}
+	if len(sentinels) == 0 {
+		return
+	}
+
+	var statusFn *ast.FuncDecl
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == p.Config.StatusFunc {
+				statusFn = fd
+			}
+		}
+	}
+	if statusFn == nil || statusFn.Body == nil {
+		var first token.Pos
+		for obj := range sentinels {
+			if first == token.NoPos || obj.Pos() < first {
+				first = obj.Pos()
+			}
+		}
+		p.Reportf(first, "package declares %d Err* sentinels but has no status mapping function %s", len(sentinels), p.Config.StatusFunc)
+		return
+	}
+
+	handled := make(map[types.Object]bool)
+	ast.Inspect(statusFn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.TypesInfo.Uses[id]; obj != nil && sentinels[obj] {
+				handled[obj] = true
+			}
+		}
+		return true
+	})
+	var missing []string
+	for obj := range sentinels {
+		if !handled[obj] {
+			missing = append(missing, obj.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		p.Reportf(statusFn.Pos(), "sentinel %s is not handled in %s; every sentinel must map to an HTTP status", name, p.Config.StatusFunc)
+	}
+}
+
+// checkRawHTTPError flags direct http.Error calls, which bypass the single
+// sentinel→status mapping point.
+func checkRawHTTPError(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := p.pkgFunc(call.Fun); ok && pkg == "net/http" && name == "Error" {
+				p.Reportf(call.Pos(), "raw http.Error bypasses the %s sentinel mapping; use the package's error-writing helper", p.Config.StatusFunc)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCloseErrors flags Close/Flush/Sync calls whose error result
+// is silently dropped: a bare expression statement or a bare defer. The
+// sanctioned deliberate discard is `_ = f.Close()` (wrapped in a closure for
+// defers) next to a comment saying why the error cannot matter.
+func checkDiscardedCloseErrors(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = stmt.Call
+			case *ast.GoStmt:
+				call = stmt.Call
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Close" && name != "Flush" && name != "Sync" {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[call]
+			if !ok || !types.Identical(tv.Type, types.Universe.Lookup("error").Type()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "error from %s.%s() is discarded; check it or assign to _ with a comment", exprString(sel.X), name)
+			return true
+		})
+	}
+}
+
+// exprString renders a short receiver description for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	default:
+		return "expr"
+	}
+}

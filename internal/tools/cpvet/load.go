@@ -1,0 +1,180 @@
+package cpvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns under dir (a module root)
+// and type-checks each against the gc export data of its dependencies.
+//
+// It shells out to `go list -export -json -deps`, which compiles whatever is
+// stale into the build cache and reports an export-data file per dependency;
+// go/types then imports dependencies from those files — the same scheme
+// `go vet`'s unitchecker uses, with the go command (not a network) supplying
+// everything, so the loader works fully offline. Only non-test GoFiles are
+// loaded; see Pass.Files for why test files are exempt.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("cpvet: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return loadFromList(out)
+}
+
+// LoadExports returns the import-path → export-data map for the given
+// packages and all their dependencies, without type-checking anything. The
+// fixture runner (vettest) uses it to resolve fixture imports.
+func LoadExports(dir string, pkgs []string) (map[string]string, error) {
+	if len(pkgs) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("cpvet: go list %s: %v\n%s", strings.Join(pkgs, " "), err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("cpvet: decoding go list output: %v", derr)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+func loadFromList(out []byte) ([]*Package, error) {
+	dec := json.NewDecoder(bytes.NewReader(out))
+	exports := make(map[string]string)
+	var targets []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("cpvet: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("cpvet: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("cpvet: %s uses cgo, which the loader does not support", lp.ImportPath)
+		}
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("cpvet: %v", err)
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := Check(lp.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("cpvet: type-checking %s: %v", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:  lp.ImportPath,
+			Dir:   lp.Dir,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	return pkgs, nil
+}
+
+// exportImporter builds a go/types importer that resolves every import from
+// the export-data files `go list -export` reported.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// Check type-checks one package's parsed files with the analyzer-relevant
+// fact tables populated. Exposed for vettest, which parses fixture files
+// itself.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}
+
+// NewExportImporter exposes the export-data importer for vettest.
+func NewExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return exportImporter(fset, exports)
+}

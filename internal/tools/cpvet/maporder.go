@@ -1,0 +1,44 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps in deterministic scope.
+//
+// Map iteration order is randomized per process, so ranging over a map in
+// replay-, journal-, or accumulation-order-critical code makes two replays of
+// the same WAL (or two nodes applying the same journal) diverge. The
+// sanctioned pattern is to collect the keys, sort them, and range over the
+// sorted slice (see serve's sortedKeys helper); a range whose order provably
+// cannot matter is silenced with //cpvet:allow maporder -- <why>.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags range over a map in deterministic (replay-order-critical) scope",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := p.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if !p.InDeterministicScope(rs.Pos()) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "range over map %s in deterministic scope; iterate sorted keys instead", types.TypeString(tv.Type, types.RelativeTo(p.Pkg)))
+			return true
+		})
+	}
+	return nil
+}

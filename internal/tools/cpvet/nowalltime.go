@@ -1,0 +1,52 @@
+package cpvet
+
+import (
+	"go/ast"
+)
+
+// NoWallTime flags wall-clock and randomness reads in deterministic scope.
+//
+// A time.Now() or math/rand draw inside replay- or accumulation-order-
+// critical code makes two replays of the same WAL produce different state —
+// the invariant pinned by TestRetainedMatchesFreshSSDC and
+// TestDurableKillRestartLockstep. Timestamps that only feed metrics or idle
+// clocks are silenced with `//cpvet:allow nowalltime -- <why>`; anything that
+// reaches persisted or replayed state must come from the journal itself.
+var NoWallTime = &Analyzer{
+	Name: "nowalltime",
+	Doc:  "flags time.Now/Since/Until and math/rand use in deterministic scope",
+	Run:  runNoWallTime,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runNoWallTime(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := p.pkgFunc(sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkg == "time" && wallClockFuncs[name]:
+				if p.InDeterministicScope(sel.Pos()) {
+					p.Reportf(sel.Pos(), "time.%s in deterministic scope; replayed state must not depend on wall time", name)
+				}
+			case pkg == "math/rand" || pkg == "math/rand/v2":
+				if p.InDeterministicScope(sel.Pos()) {
+					p.Reportf(sel.Pos(), "%s.%s in deterministic scope; replayed state must not depend on nondeterministic randomness", pkg, name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

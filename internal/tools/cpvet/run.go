@@ -1,0 +1,83 @@
+package cpvet
+
+import (
+	"sort"
+)
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapOrder,
+		CtxFlow,
+		ErrMap,
+		WALFrame,
+		NoWallTime,
+	}
+}
+
+// Run loads the packages matching patterns under dir and applies every
+// analyzer, returning the surviving (non-suppressed) diagnostics sorted by
+// position. An error means the analysis itself could not run — a load or
+// type-check failure — not that findings exist.
+func Run(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := AnalyzePackage(pkg, analyzers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// AnalyzePackage applies the analyzers to one loaded package, filtering
+// findings silenced by //cpvet:allow annotations.
+func AnalyzePackage(pkg *Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	dirs := parseDirectives(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		var raw []Diagnostic
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.Info,
+			Config:    cfg,
+			dirs:      dirs,
+			diags:     &raw,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+		for _, d := range raw {
+			if !dirs.allowed(d.Analyzer, d.Pos) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,57 @@
+// Fixture for the ctxflow analyzer: the package is configured as a
+// context-discipline package.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Blocking severs the caller's cancellation — the seeded violation.
+func Blocking(ctx context.Context, run func(context.Context) error) error {
+	fresh := context.Background() // want `context.Background replaces the incoming context`
+	_ = fresh
+	return run(ctx)
+}
+
+// Dropped blanks its context before any blocking work it guards.
+func Dropped(_ context.Context) error { // want `discards its context.Context parameter`
+	return nil
+}
+
+// Unused accepts a context and then ignores it.
+func Unused(ctx context.Context) error { // want `never uses its context.Context parameter`
+	return nil
+}
+
+// Handler has cancellation via the request but mints a fresh context anyway.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	ctx := context.TODO() // want `context.TODO replaces the incoming context`
+	_ = ctx
+	_ = w
+	_ = r
+}
+
+// Derives narrows the incoming context: deriving keeps the chain, no finding.
+func Derives(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+// unexported entry points are not flagged for unused contexts.
+func relaxed(ctx context.Context) error {
+	return nil
+}
+
+// StartJanitor intentionally detaches: the background loop must outlive the
+// registering request.
+//
+//cpvet:allow ctxflow -- detached janitor outlives the request by design
+func StartJanitor(ctx context.Context, run func(context.Context)) {
+	go run(context.Background())
+}
+
+var _ = relaxed

@@ -1,0 +1,72 @@
+// Fixture for the errmap analyzer: the package is configured as both the
+// sentinel package (status function errStatus) and a close-check package.
+package errmap
+
+import (
+	"bufio"
+	"errors"
+	"net/http"
+	"os"
+)
+
+var (
+	ErrNotFound = errors.New("not found")
+	ErrBusy     = errors.New("busy")
+	ErrGone     = errors.New("gone") // deliberately missing from errStatus
+)
+
+func errStatus(err error) int { // want `sentinel ErrGone is not handled`
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	}
+	return http.StatusInternalServerError
+}
+
+// raw bypasses the single mapping point — the seeded violation.
+func raw(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusTeapot) // want `raw http.Error bypasses`
+}
+
+func drop(f *os.File) {
+	f.Close() // want `error from f.Close\(\) is discarded`
+}
+
+func dropDefer(f *os.File) error {
+	defer f.Close() // want `error from f.Close\(\) is discarded`
+	return nil
+}
+
+func dropFlush(w *bufio.Writer) {
+	w.Flush() // want `error from w.Flush\(\) is discarded`
+}
+
+// deliberate is the sanctioned discard: assign to _ next to a comment.
+func deliberate(f *os.File) {
+	// Read-only handle; a close error cannot lose data.
+	_ = f.Close()
+}
+
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func allowed(f *os.File) {
+	f.Close() //cpvet:allow errmap -- fixture-sanctioned discard
+}
+
+var (
+	_ = errStatus
+	_ = raw
+	_ = drop
+	_ = dropDefer
+	_ = dropFlush
+	_ = deliberate
+	_ = checked
+	_ = allowed
+)

@@ -1,0 +1,7 @@
+// Fixture for errmap's missing-status-function check: sentinels exist but
+// nothing maps them to HTTP statuses.
+package errmapnofunc
+
+import "errors"
+
+var ErrOops = errors.New("oops") // want `has no status mapping function errStatus`

@@ -1,0 +1,37 @@
+// Fixture for the maporder analyzer: the whole package is configured as
+// deterministic scope.
+package maporder
+
+import "sort"
+
+// emit journals entries in map order — the seeded violation.
+func emit(m map[string]int, out func(string, int)) {
+	for k, v := range m { // want `range over map`
+		out(k, v)
+	}
+}
+
+// emitSorted is the sanctioned pattern: collect, sort, then range the slice.
+// The collection loop itself cannot leak iteration order, hence the allow.
+func emitSorted(m map[string]int, out func(string, int)) {
+	keys := make([]string, 0, len(m))
+	//cpvet:allow maporder -- keys are sorted before any order-sensitive use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out(k, m[k])
+	}
+}
+
+// overSlice ranges a slice: deterministic by construction, no finding.
+func overSlice(s []int, out func(int)) {
+	for _, v := range s {
+		out(v)
+	}
+}
+
+var _ = emit
+var _ = emitSorted
+var _ = overSlice

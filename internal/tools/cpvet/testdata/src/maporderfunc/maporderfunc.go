@@ -1,0 +1,22 @@
+// Fixture for the maporder analyzer outside any deterministic package:
+// only functions tagged //cpvet:deterministic are in scope.
+package maporderfunc
+
+// journal replays entries, so its body is order-critical.
+//
+//cpvet:deterministic
+func journal(m map[string]int, out func(string, int)) {
+	for k, v := range m { // want `range over map`
+		out(k, v)
+	}
+}
+
+// free is untagged: map order is allowed to be arbitrary here.
+func free(m map[string]int, out func(string, int)) {
+	for k, v := range m {
+		out(k, v)
+	}
+}
+
+var _ = journal
+var _ = free

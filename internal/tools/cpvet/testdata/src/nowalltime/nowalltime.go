@@ -1,0 +1,41 @@
+// Fixture for the nowalltime analyzer: the whole package is configured as
+// deterministic scope.
+package nowalltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock in replayed code — the seeded violation.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic scope`
+}
+
+func age(t time.Time) time.Duration {
+	return time.Since(t) // want `time.Since in deterministic scope`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn in deterministic scope`
+}
+
+// metric feeds observability only; the annotations record why that is safe.
+func metric() time.Duration {
+	start := time.Now() //cpvet:allow nowalltime -- latency metric only, never persisted
+	//cpvet:allow nowalltime -- latency metric only, never persisted
+	return time.Since(start)
+}
+
+// fromJournal derives time from journal-supplied state: no finding.
+func fromJournal(at time.Time) time.Time {
+	return at.Add(time.Minute)
+}
+
+var (
+	_ = stamp
+	_ = age
+	_ = pick
+	_ = metric
+	_ = fromJournal
+)

@@ -1,0 +1,11 @@
+// Fixture for walframe's client mode: the package is configured as a WAL
+// client, where any raw file mutation must go through the durable API.
+package walclient
+
+import "os"
+
+func persist(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want `in a WAL client package`
+}
+
+var _ = persist

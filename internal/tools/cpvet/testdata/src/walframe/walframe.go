@@ -1,0 +1,47 @@
+// Fixture for the walframe analyzer: the package is configured as the WAL
+// package, so raw file mutation outside allow-annotated helpers is flagged.
+package walframe
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// rotate renames outside any sanctioned helper — the seeded violation.
+func rotate(dir string) error {
+	return os.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")) // want `raw os.Rename outside the framing helpers`
+}
+
+func write(f *os.File, b []byte) error {
+	_, err := f.Write(b) // want `raw \(\*os.File\)\.Write outside the framing helpers`
+	return err
+}
+
+// frame is a sanctioned framing helper: the function-level allow covers
+// every raw operation in its body.
+//
+//cpvet:allow walframe -- fixture-sanctioned framing helper
+func frame(f *os.File, b []byte) error {
+	if _, err := f.Write(b); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// read cannot tear a record: no finding.
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// mkdir creates directories only: no finding.
+func mkdir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+var (
+	_ = rotate
+	_ = write
+	_ = frame
+	_ = read
+	_ = mkdir
+)

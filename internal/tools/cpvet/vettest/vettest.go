@@ -1,0 +1,191 @@
+// Package vettest is an analysistest-style fixture runner for the cpvet
+// analyzer suite. A fixture is a directory of Go files under testdata/src
+// annotated with `// want "regex"` comments; Run type-checks the fixture
+// against real gc export data (resolved offline through the go command's
+// build cache), applies the analyzers, and fails the test on any mismatch
+// between expected and reported diagnostics — in either direction.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/tools/cpvet"
+)
+
+// want is one expectation: a diagnostic on file:line whose message matches re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantArgRE accepts analysistest's two quoting styles: backquoted (the usual
+// form, since diagnostics regularly contain regex metacharacters) and
+// double-quoted.
+var wantArgRE = regexp.MustCompile("`([^`]*)`" + `|"((?:[^"\\]|\\.)*)"`)
+
+// exportCache memoizes `go list -export` runs per import set: most fixtures
+// share the same handful of stdlib imports.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]map[string]string{}
+)
+
+// Run analyzes the fixture package rooted at dir (its files declare package
+// importPath's last element; importPath is what the Config keys against) and
+// checks the reported diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir, importPath string, analyzers []*cpvet.Analyzer, cfg *cpvet.Config) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []*want
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+		wants = append(wants, parseWants(t, path)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	exports := exportsFor(t, imports)
+	tpkg, info, err := cpvet.Check(importPath, fset, files, cpvet.NewExportImporter(fset, exports))
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	pkg := &cpvet.Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}
+	diags, err := cpvet.AnalyzePackage(pkg, analyzers, cfg)
+	if err != nil {
+		t.Fatalf("analyzing fixture %s: %v", dir, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWants extracts the `// want "..."` expectations from one file by
+// rescanning its source text line by line (comment positions in the AST are
+// exact, but line scanning keeps the matcher independent of comment
+// attachment rules).
+func parseWants(t *testing.T, path string) []*want {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixture: %v", err)
+	}
+	var wants []*want
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+		if len(args) == 0 {
+			t.Fatalf("%s:%d: malformed want comment %q", path, i+1, line)
+		}
+		for _, a := range args {
+			pat := a[1]
+			if pat == "" {
+				pat = a[2]
+			}
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want regexp: %v", path, i+1, err)
+			}
+			wants = append(wants, &want{file: path, line: i + 1, re: re, raw: pat})
+		}
+	}
+	return wants
+}
+
+// exportsFor resolves gc export data for the fixture's imports (plus their
+// transitive deps) via the repo's go module, memoized per import set.
+func exportsFor(t *testing.T, imports map[string]bool) map[string]string {
+	t.Helper()
+	pkgs := make([]string, 0, len(imports))
+	for p := range imports {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	key := strings.Join(pkgs, ",")
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if exp, ok := exportCache[key]; ok {
+		return exp
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	exp, err := cpvet.LoadExports(root, pkgs)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	exportCache[key] = exp
+	return exp
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

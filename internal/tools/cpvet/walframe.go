@@ -1,0 +1,79 @@
+package cpvet
+
+import (
+	"go/ast"
+)
+
+// WALFrame guards the CRC-framed write discipline of the WAL package and its
+// clients.
+//
+// Inside the WAL package every durable byte must flow through the framing
+// and atomic-replace helpers (CRC-framed record append; snapshot written to
+// a temp file, synced, then renamed over the old one). A raw os.Rename or
+// (*os.File).Write anywhere else can produce an unframed record that replay
+// cannot CRC-validate, or a torn snapshot that recovery trusts. The small
+// set of sanctioned helpers carries a function-level
+// `//cpvet:allow walframe` annotation; everything else is flagged.
+//
+// Client packages configured in WALClientPkgs (the serving layer) must not
+// mutate files at all — their persistence goes through the durable API — so
+// there any raw file mutation is flagged.
+var WALFrame = &Analyzer{
+	Name: "walframe",
+	Doc:  "flags raw file writes/renames that bypass the CRC-framed WAL helpers",
+	Run:  runWALFrame,
+}
+
+// walMutatingOSFuncs are the package-level os functions that mutate the
+// filesystem in ways relevant to WAL integrity.
+var walMutatingOSFuncs = map[string]bool{
+	"Rename":    true,
+	"Remove":    true,
+	"RemoveAll": true,
+	"WriteFile": true,
+	"Truncate":  true,
+	"Create":    true,
+	"CreateTemp": true,
+	"OpenFile":  true,
+	"Mkdir":     false, // directory creation cannot tear a record
+	"MkdirAll":  false,
+}
+
+// walMutatingFileMethods are the *os.File methods that write or truncate.
+var walMutatingFileMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Truncate":    true,
+}
+
+func runWALFrame(p *Pass) error {
+	inWAL := p.Pkg.Path() == p.Config.WALPkg
+	inClient := p.Config.WALClientPkgs[p.Pkg.Path()]
+	if !inWAL && !inClient {
+		return nil
+	}
+	where := "outside the framing helpers"
+	if inClient {
+		where = "in a WAL client package; go through the durable API"
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := p.pkgFunc(call.Fun); ok && pkg == "os" && walMutatingOSFuncs[name] {
+				p.Reportf(call.Pos(), "raw os.%s %s", name, where)
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && walMutatingFileMethods[sel.Sel.Name] {
+				if p.methodOn(call.Fun, "os", "File", sel.Sel.Name) {
+					p.Reportf(call.Pos(), "raw (*os.File).%s %s", sel.Sel.Name, where)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
