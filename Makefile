@@ -13,13 +13,13 @@ vet:
 test:
 	$(GO) test -shuffle=on ./...
 
-# Race-check the concurrency-heavy packages: the serving layer (shared
-# engines + pooled scratches), the cleaning loop, the shared selection
-# engine (parallel hypothesis sweeps over memoized per-point state), the
-# WAL (group-commit flusher vs concurrent appenders), and the segment tree
-# (read-mostly purity queries under concurrent batch drivers).
+# Race-check everything. The concurrency lives in serve (shared engines +
+# pooled scratches), cleaning, selection (parallel hypothesis sweeps),
+# durable (group-commit flusher vs concurrent appenders), and segtree —
+# but ./... costs little more and catches races that leak across package
+# boundaries (e.g. a serve test driving the WAL).
 race:
-	$(GO) test -race -shuffle=on ./internal/serve/... ./internal/cleaning/... ./internal/selection/... ./internal/durable/... ./internal/segtree/...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...

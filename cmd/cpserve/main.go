@@ -123,6 +123,7 @@ func main() {
 		srvMu sync.Mutex
 		srv   *serve.Server // nil until recovery completes
 	)
+	//cpvet:allow goroutine -- one-shot startup recovery: publishes the server via handler.Store and exits; process lifetime, nothing to join
 	go func() {
 		s, err := serve.Open(serve.Config{
 			Parallelism:      *parallelism,

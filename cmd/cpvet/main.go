@@ -4,14 +4,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/cpvet [packages]
+//	go run ./cmd/cpvet [-json] [-list] [packages]
 //
 // Packages default to ./... relative to the module root, so `make
 // verify-static` and CI both lint the whole repository regardless of the
 // working directory they start in.
+//
+// -json emits one finding object per line (analyzer, position, message,
+// allow-status) for CI and editor consumption; allowed findings are
+// included in the stream but do not affect the exit status. -list prints
+// the registered analyzers and exits.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"os/exec"
@@ -21,8 +28,29 @@ import (
 	"repro/internal/tools/cpvet"
 )
 
+// jsonFinding is the one-per-line machine output shape of a finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	Allowed  bool   `json:"allowed"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit one JSON finding object per line (allowed findings included, exit status unaffected by them)")
+	list := flag.Bool("list", false, "print the registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range cpvet.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -31,16 +59,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cpvet:", err)
 		os.Exit(2)
 	}
-	diags, err := cpvet.Run(root, patterns, cpvet.All(), cpvet.DefaultConfig())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+
+	var failing int
+	if *jsonOut {
+		diags, err := cpvet.RunAll(root, patterns, cpvet.All(), cpvet.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			rel := d.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			if err := enc.Encode(jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     rel,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+				Allowed:  d.Allowed,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "cpvet:", err)
+				os.Exit(2)
+			}
+			if !d.Allowed {
+				failing++
+			}
+		}
+	} else {
+		diags, err := cpvet.Run(root, patterns, cpvet.All(), cpvet.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		failing = len(diags)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
-	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "cpvet: %d finding(s)\n", len(diags))
+	if failing > 0 {
+		fmt.Fprintf(os.Stderr, "cpvet: %d finding(s)\n", failing)
 		os.Exit(1)
 	}
 }

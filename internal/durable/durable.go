@@ -537,10 +537,10 @@ func (st *Store) append(rec Record) (uint64, error) {
 		return 0, st.syncErr
 	}
 	if _, err := st.w.Write(frame[:]); err != nil {
-		return 0, st.poison(err)
+		return 0, st.poisonLocked(err)
 	}
 	if _, err := st.w.Write(payload); err != nil {
-		return 0, st.poison(err)
+		return 0, st.poisonLocked(err)
 	}
 	st.activeLen += frameHeaderLen + int64(len(payload))
 	st.appendSeq++
@@ -553,10 +553,10 @@ func (st *Store) append(rec Record) (uint64, error) {
 	return seq, nil
 }
 
-// poison records a sticky write/fsync failure: once bytes may be missing
-// from the log, every later append must fail too, or replay would see a gap.
-// Caller holds st.mu.
-func (st *Store) poison(err error) error {
+// poisonLocked records a sticky write/fsync failure: once bytes may be
+// missing from the log, every later append must fail too, or replay would see
+// a gap. Caller holds st.mu.
+func (st *Store) poisonLocked(err error) error {
 	if st.syncErr == nil {
 		st.syncErr = fmt.Errorf("durable: log write failed: %w", err)
 		st.cond.Broadcast()
@@ -566,6 +566,8 @@ func (st *Store) poison(err error) error {
 
 // flushLocked flushes the buffer and fsyncs the active segment. Caller holds
 // st.mu.
+//
+//cpvet:allow blockedlock -- group commit by design: the fsync runs under st.mu so appenders observe a consistent syncedSeq; waiters park on cond, not the lock
 func (st *Store) flushLocked() error {
 	if st.syncErr != nil {
 		return st.syncErr
@@ -574,11 +576,11 @@ func (st *Store) flushLocked() error {
 		return nil
 	}
 	if err := st.w.Flush(); err != nil {
-		return st.poison(err)
+		return st.poisonLocked(err)
 	}
 	start := time.Now() //cpvet:allow nowalltime -- fsync-latency metric only, never persisted
 	if err := st.f.Sync(); err != nil {
-		return st.poison(err)
+		return st.poisonLocked(err)
 	}
 	st.fsyncLast = time.Since(start) //cpvet:allow nowalltime -- fsync-latency metric only, never persisted
 	st.fsyncTotal += st.fsyncLast
@@ -650,6 +652,7 @@ func (st *Store) flusher() {
 // stay, so a failed compaction costs only disk space, never records.
 //
 //cpvet:allow walframe -- sanctioned helper: removes only segments the new snapshot covers
+//cpvet:allow blockedlock -- segment rotation must be atomic with the append stream: startSegment's create+fsync runs under st.mu so no append lands between seal and rotate
 func (st *Store) Compact(state func() ([]byte, error)) error {
 	st.mu.Lock()
 	if st.closed {

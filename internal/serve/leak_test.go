@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/knn"
+)
+
+// assertGoroutinesReturn fails the test if the goroutine count has not
+// dropped back to the before-snapshot within a short deadline. Goroutines
+// wind down asynchronously after Close returns (the runtime needs a moment
+// to park exiting goroutines), so the helper polls instead of asserting
+// once; on timeout it dumps all stacks so the leaked goroutine is named in
+// the failure, not just counted.
+func assertGoroutinesReturn(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after Close; stacks:\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerCloseLeavesNoGoroutines is the runtime pin behind the cpvet
+// goroutine analyzer: everything the server spawns — the WAL group-commit
+// flusher, the session reaper, batch fan-out workers, and the detached
+// compaction goroutine — must be joined or stopped by Server.Close. The
+// workload deliberately crosses every spawn site: a durable server with a
+// tiny segment threshold (forces compaction), a clean session driven to
+// completion (journal traffic), and a batch query (worker fan-out).
+func TestServerCloseLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	dir := t.TempDir()
+	s := openDurable(t, dir, func(cfg *Config) { cfg.WALSegmentBytes = 2048 })
+	d := randDataset(t, 40, 3, 2, 2, 0.6, 431)
+	if _, err := s.Register("d", d, knn.NegEuclidean{}, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: randPoints(12, 2, 433)}); err != nil {
+		t.Fatal(err)
+	}
+
+	req := CleanRequest{Truth: make([]int, d.N()), ValPoints: randPoints(6, 2, 439)}
+	sess, err := s.StartCleanSession("d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, done, err := sess.Next(4); err != nil {
+			t.Fatal(err)
+		} else if done {
+			break
+		}
+	}
+
+	// Wait for at least one compaction so its goroutine has actually been
+	// spawned before Close must join it.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap")); len(snaps) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never produced a snapshot despite a tiny segment threshold")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	s.Close()
+	assertGoroutinesReturn(t, before)
+}

@@ -26,10 +26,10 @@ type enginePool struct {
 	noMemo   bool  // Config.DisableQueryMemo: ablation baseline
 
 	mu        sync.Mutex
-	lru       *list.List // front = most recently used *engineEntry
-	byKey     map[string]*list.Element
-	bytes     int64             // Σ accounted bytes of cached entries
-	scratches *core.ScratchPool // created on first use; guarded by mu
+	lru       *list.List               // front = most recently used *engineEntry; guarded by mu
+	byKey     map[string]*list.Element // guarded by mu
+	bytes     int64                    // Σ accounted bytes of cached entries; guarded by mu
+	scratches *core.ScratchPool        // created on first use; guarded by mu
 
 	builds    atomic.Int64 // engines constructed
 	hits      atomic.Int64 // cache hits

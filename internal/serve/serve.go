@@ -186,7 +186,7 @@ type Server struct {
 	logf func(format string, args ...interface{})
 
 	mu       sync.RWMutex
-	datasets map[string]*Dataset
+	datasets map[string]*Dataset // guarded by mu
 
 	sessions *sessionStore
 

@@ -24,9 +24,9 @@ type sessionStore struct {
 	ttl time.Duration // idle eviction; < 0 = never
 
 	mu         sync.Mutex
-	live       map[string]*Session
-	tombstones map[string]time.Time // expired ID → eviction time
-	stopped    bool
+	live       map[string]*Session  // guarded by mu
+	tombstones map[string]time.Time // expired ID → eviction time; guarded by mu
+	stopped    bool                 // guarded by mu
 
 	reaperOnce sync.Once
 	stopReaper chan struct{}
@@ -66,10 +66,10 @@ type Session struct {
 	created time.Time
 
 	mu             sync.Mutex
-	lastUsed       time.Time
-	driving        bool
-	closed         bool
-	closeOnRelease bool
+	lastUsed       time.Time // guarded by mu
+	driving        bool      // guarded by mu
+	closed         bool      // guarded by mu
+	closeOnRelease bool      // guarded by mu
 	// suspended marks a session re-materialized from the durable journal
 	// after a restart: it holds only its request and executed-step history.
 	// The first driver rebuilds the engines and re-executes the history

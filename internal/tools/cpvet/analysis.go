@@ -1,8 +1,10 @@
-// Package cpvet is a project-invariant analyzer suite: five small static
-// analyzers that mechanically enforce the determinism, cancellation, and
-// durability contracts the serving and persistence layers are built on —
-// the invariants that, before this package, lived only in comments and in
-// lockstep tests that catch violations after they ship.
+// Package cpvet is a project-invariant analyzer suite: ten static
+// analyzers that mechanically enforce the determinism, cancellation,
+// durability, and concurrency contracts the serving and persistence layers
+// are built on — the invariants that, before this package, lived only in
+// comments and in lockstep tests that catch violations after they ship.
+// Five are syntactic; five are flow-sensitive, built on an intraprocedural
+// CFG (cfg.go) with a must-hold lock data-flow pass (flow.go).
 //
 // The suite deliberately mirrors the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) but is implemented entirely on the standard
@@ -31,6 +33,20 @@
 //   - nowalltime: flags time.Now/time.Since/time.Until and math/rand use
 //     in deterministic scope — wall-clock or randomness in a replayed
 //     computation breaks bit-for-bit recovery.
+//   - lockheld: *Locked functions must not lock their own guard, their
+//     callers must hold it, and fields annotated `// guarded by mu` may
+//     only be touched while mu is held (must-hold data flow).
+//   - unlockpath: every Lock() reaches a matching Unlock() on all CFG
+//     paths to return/panic, or is released by defer.
+//   - lockorder: builds the package-level lock-acquisition graph (seeded
+//     with the configured canonical hierarchy) and flags acquisitions that
+//     close a cycle — the deadlock precondition.
+//   - blockedlock: no channel operations, selects without default, or
+//     configured blocking calls (fsync, Sleep, WaitGroup.Wait) while a
+//     hot-path mutex is held.
+//   - goroutine: every go statement is joined via a visible WaitGroup
+//     Add/Done pairing or bounded by ctx.Done()/a stop channel, so no
+//     goroutine can outlive Close.
 //
 // # Escape hatch
 //
@@ -81,11 +97,15 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Diagnostic is one finding at a resolved source position.
+// Diagnostic is one finding at a resolved source position. Allowed marks a
+// finding silenced by //cpvet:allow: the filtered API (Run/AnalyzePackage)
+// drops such findings, the -All variants keep them so machine output can
+// inventory the annotations.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Allowed  bool
 }
 
 func (d Diagnostic) String() string {

@@ -1,0 +1,174 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// BlockedLock flags blocking operations performed while a mutex is held in a
+// hot-path package. A critical section that blocks — a channel send or
+// receive, a select with no default, an fsync, a group-commit wait — turns
+// one slow peer into a convoy: every other goroutine needing the mutex
+// queues behind the blocked holder.
+//
+// Blocking operations are channel sends/receives (outside select comm
+// clauses, which only block if their select does), range over a channel,
+// select statements without a default case, and the calls named in
+// Config.BlockingCalls ("pkgpath.Func" or "pkgpath.Type.Method" — fsync,
+// time.Sleep, WaitGroup.Wait, the WAL's AppendSync/AppendWait). sync.Cond
+// Wait is exempt by construction: it releases the mutex while parked.
+//
+// A critical section that blocks by design (the WAL flusher fsyncs under
+// Store.mu precisely so appenders observe a consistent synced sequence) is
+// silenced with //cpvet:allow blockedlock -- <why>.
+var BlockedLock = &Analyzer{
+	Name: "blockedlock",
+	Doc:  "flags blocking operations (channel ops, selects without default, fsync-class calls) while holding a hot-path mutex",
+	Run:  runBlockedLock,
+}
+
+func runBlockedLock(p *Pass) error {
+	if !p.Config.HotPathPkgs[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkBlockedLock(p, fb)
+		}
+	}
+	return nil
+}
+
+func checkBlockedLock(p *Pass, fb funcBody) {
+	g := buildCFG(fb.body, p.TypesInfo)
+	seed := heldSet{}
+	if fb.decl != nil {
+		seed = lockedSeed(p.TypesInfo, p.Pkg, fb.decl)
+	}
+	ff := heldFlow(p.TypesInfo, p.Pkg, g, seed)
+
+	// Comm statements of select clauses never block on their own: the select
+	// chooses a ready case (or its default).
+	comms := map[ast.Stmt]bool{}
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			comms[cc.Comm] = true
+		}
+		return true
+	})
+
+	for _, blk := range ff.cfg.blocks {
+		held := ff.in[blk]
+		if held == nil {
+			continue
+		}
+		held = held.clone()
+		for _, s := range blk.nodes {
+			if len(held) > 0 {
+				reportBlocking(p, s, held, comms)
+			}
+			applyStmt(p.TypesInfo, p.Pkg, s, held)
+		}
+	}
+}
+
+// reportBlocking flags the blocking operations that execute at stmt s while
+// held is non-empty.
+func reportBlocking(p *Pass, s ast.Stmt, held heldSet, comms map[ast.Stmt]bool) {
+	holding := heldDescription(held)
+
+	// Structural channel operations on the statement itself.
+	switch st := s.(type) {
+	case *ast.SendStmt:
+		if !comms[s] {
+			p.Reportf(st.Arrow, "channel send while holding %s", holding)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := p.TypesInfo.Types[st.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				p.Reportf(st.Pos(), "range over channel while holding %s", holding)
+			}
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(st) {
+			p.Reportf(st.Pos(), "select without default while holding %s", holding)
+		}
+	}
+
+	scanShallow(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && !commReceive(s, comms) {
+				p.Reportf(n.Pos(), "channel receive while holding %s", holding)
+			}
+		case *ast.CallExpr:
+			if name, ok := blockingCallName(p, n); ok {
+				p.Reportf(n.Pos(), "call to %s (blocking) while holding %s", name, holding)
+			}
+		}
+		return true
+	})
+}
+
+// commReceive reports whether s is the comm statement of a select clause
+// (its receive does not block independently).
+func commReceive(s ast.Stmt, comms map[ast.Stmt]bool) bool {
+	return comms[s]
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCallName matches a call against Config.BlockingCalls, returning
+// the matched key.
+func blockingCallName(p *Pass, call *ast.CallExpr) (string, bool) {
+	if pkgPath, name, ok := p.pkgFunc(call.Fun); ok {
+		key := pkgPath + "." + name
+		return key, p.Config.BlockingCalls[key]
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	for {
+		if pt, ok := recv.(*types.Pointer); ok {
+			recv = pt.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	return key, p.Config.BlockingCalls[key]
+}
+
+// heldDescription renders the held locks for a report, sorted for
+// determinism.
+func heldDescription(held heldSet) string {
+	var names []string
+	for k := range held {
+		names = append(names, k.display)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

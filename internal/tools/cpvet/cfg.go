@@ -1,0 +1,405 @@
+package cpvet
+
+// This file is cpvet's intraprocedural control-flow layer: a basic-block CFG
+// over one function body, built purely from the AST. It exists so the
+// concurrency analyzers (lockheld, unlockpath, lockorder, blockedlock,
+// goroutine) can reason about *paths* — an early return between Lock and
+// Unlock, a panic that unwinds past a critical section, a loop that
+// re-acquires — instead of just spotting calls.
+//
+// The model is deliberately small:
+//
+//   - Blocks hold statements in execution order; edges are fallthrough,
+//     branch, and loop back-edges. if/for/range/switch/type-switch/select/
+//     goto/labeled break/continue/fallthrough are all modeled.
+//   - One virtual exit block terminates every function. return edges there,
+//     and so do calls that provably never return: panic, os.Exit,
+//     log.Fatal*, runtime.Goexit, and testing's FailNow family.
+//   - defer is recorded as an ordinary statement at the point it executes
+//     (registration), not at function exit. Analyzers that care about
+//     at-exit effects (unlockpath) treat "path passed the defer" as "the
+//     deferred effect is armed for every later exit on that path", which is
+//     exactly Go's semantics.
+//   - Function literals are NOT inlined: a FuncLit body is a separate
+//     function with its own CFG (it runs at some other time, on some other
+//     goroutine, with its own lock state).
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// cfgBlock is one straight-line run of statements plus successor edges.
+type cfgBlock struct {
+	index int
+	nodes []ast.Stmt
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock // virtual: every return/panic path edges here
+}
+
+type labelInfo struct {
+	target     *cfgBlock // goto target (start of the labeled statement)
+	breakTo    *cfgBlock // set while the labeled loop/switch/select is open
+	continueTo *cfgBlock // set while the labeled loop is open
+}
+
+type cfgBuilder struct {
+	g    *funcCFG
+	info *types.Info // nil-safe: only used to recognize never-returns calls
+	cur  *cfgBlock
+
+	breakTo    []*cfgBlock // innermost-last stacks for unlabeled break/continue
+	continueTo []*cfgBlock
+
+	labels map[string]*labelInfo
+	// pendingLabel is the label naming the next loop/switch built, so its
+	// break/continue targets resolve for `break L` / `continue L`.
+	pendingLabel string
+}
+
+// buildCFG constructs the CFG for one function body. info may be nil (the
+// never-returns recognition then falls back to the builtin panic only).
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	b := &cfgBuilder{
+		g:      &funcCFG{},
+		info:   info,
+		labels: make(map[string]*labelInfo),
+	}
+	b.g.exit = b.newBlock() // index 0 is the exit by convention
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Falling off the end of the body is a return.
+	b.edge(b.cur, b.g.exit)
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// startBlock finishes cur with an edge to next and makes next current.
+func (b *cfgBuilder) startBlock(next *cfgBlock) {
+	b.edge(b.cur, next)
+	b.cur = next
+}
+
+// deadBlock makes an unreachable block current (after return/break/goto), so
+// syntactically-following statements still get modeled without edges from the
+// terminated path.
+func (b *cfgBuilder) deadBlock() {
+	b.cur = b.newBlock()
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A forward goto may have pre-created this label's target block;
+		// reuse it so those edges land here.
+		li := b.labels[s.Label.Name]
+		if li == nil {
+			li = &labelInfo{target: b.newBlock()}
+			b.labels[s.Label.Name] = li
+		}
+		b.startBlock(li.target)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s) // the condition evaluates here
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.startBlock(head)
+		head.nodes = append(head.nodes, s) // condition re-evaluates here
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after) // condition can be false
+		}
+		b.pushLoop(after, post)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		if s.Post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head) // back edge
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.startBlock(head)
+		head.nodes = append(head.nodes, s)
+		b.edge(head, body)
+		b.edge(head, after) // range can be empty / exhausted
+		b.pushLoop(after, head)
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.popLoop()
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s) // the tag evaluates here
+		b.buildSwitchBody(s.Body, switchHasDefault(s.Body))
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.buildSwitchBody(s.Body, switchHasDefault(s.Body))
+
+	case *ast.SelectStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		// Every clause is a successor; there is no implicit skip edge — with
+		// no default the select blocks until a case fires, and analyzers that
+		// care about the blocking itself (blockedlock) look at the statement,
+		// not the edges.
+		b.buildSwitchBody(s.Body, true)
+
+	case *ast.ReturnStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.edge(b.cur, b.g.exit)
+		b.deadBlock()
+
+	case *ast.BranchStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		b.branch(s)
+
+	case *ast.DeferStmt, *ast.GoStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+
+	case *ast.ExprStmt:
+		b.cur.nodes = append(b.cur.nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.neverReturns(call) {
+			b.edge(b.cur, b.g.exit)
+			b.deadBlock()
+		}
+
+	default:
+		// Assignments, declarations, sends, inc/dec, empty statements:
+		// straight-line.
+		b.cur.nodes = append(b.cur.nodes, s)
+	}
+}
+
+// buildSwitchBody wires the case clauses of a switch/type-switch/select.
+// noSkipEdge suppresses the implicit "no case matched" edge (a switch with a
+// default, and every select).
+func (b *cfgBuilder) buildSwitchBody(body *ast.BlockStmt, noSkipEdge bool) {
+	head := b.cur
+	after := b.newBlock()
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label].breakTo = after
+	}
+	b.breakTo = append(b.breakTo, after)
+	// Pre-create clause blocks so fallthrough can edge to the next one.
+	var clauses []*cfgBlock
+	for range body.List {
+		clauses = append(clauses, b.newBlock())
+	}
+	for i, cl := range body.List {
+		b.edge(head, clauses[i])
+		b.cur = clauses[i]
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				b.stmt(cl.Comm)
+			}
+			stmts = cl.Body
+		}
+		// fallthrough must be the last statement; handle it by edging to the
+		// next clause body.
+		ft := false
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+				stmts = stmts[:n-1]
+			}
+		}
+		b.stmtList(stmts)
+		if ft && i+1 < len(clauses) {
+			b.edge(b.cur, clauses[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	if !noSkipEdge {
+		b.edge(head, after)
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = after
+}
+
+func switchHasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *cfgBuilder) pushLoop(brk, cont *cfgBlock) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if label != "" {
+		b.labels[label].breakTo = brk
+		b.labels[label].continueTo = cont
+	}
+	b.breakTo = append(b.breakTo, brk)
+	b.continueTo = append(b.continueTo, cont)
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.breakTo != nil {
+				b.edge(b.cur, li.breakTo)
+			}
+		} else if n := len(b.breakTo); n > 0 {
+			b.edge(b.cur, b.breakTo[n-1])
+		}
+		b.deadBlock()
+	case "continue":
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.continueTo != nil {
+				b.edge(b.cur, li.continueTo)
+			}
+		} else if n := len(b.continueTo); n > 0 {
+			b.edge(b.cur, b.continueTo[n-1])
+		}
+		b.deadBlock()
+	case "goto":
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				b.edge(b.cur, li.target)
+				b.deadBlock()
+				return
+			}
+			// Forward goto: the label has not been built yet. Record a
+			// placeholder target now; LabeledStmt construction patches it.
+			li := &labelInfo{target: b.newBlock()}
+			b.labels[s.Label.Name] = li
+			b.edge(b.cur, li.target)
+		}
+		b.deadBlock()
+	case "fallthrough":
+		// Handled structurally in buildSwitchBody; a stray one is a compile
+		// error anyway.
+	}
+}
+
+// neverReturns reports whether the call provably terminates the goroutine or
+// process: the builtin panic, os.Exit, runtime.Goexit, and the log.Fatal
+// family. (Test-only FailNow/Fatal never appear: Pass.Files holds no test
+// files.)
+func (b *cfgBuilder) neverReturns(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info == nil {
+			return true
+		}
+		_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+		return isBuiltin
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok || b.info == nil {
+			return false
+		}
+		pn, ok := b.info.Uses[id].(*types.PkgName)
+		if !ok {
+			return false
+		}
+		switch pn.Imported().Path() {
+		case "os":
+			return fun.Sel.Name == "Exit"
+		case "runtime":
+			return fun.Sel.Name == "Goexit"
+		case "log":
+			switch fun.Sel.Name {
+			case "Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln":
+				return true
+			}
+		}
+	}
+	return false
+}

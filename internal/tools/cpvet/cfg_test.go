@@ -1,0 +1,303 @@
+package cpvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The CFG tests assert successor edges between *marker blocks*. A marker is
+// a call statement to a single-letter function (a(), b(), ...; defer/go
+// forms included); a block's label joins its markers with "+". Expected
+// edges relate marker blocks to the nearest marker blocks (or "exit")
+// reachable through unlabeled blocks — that contraction keeps the
+// expectations stable under block-splitting details while still pinning the
+// branch structure.
+
+// markerLabel returns the marker name of a statement, or "".
+func markerLabel(s ast.Stmt) string {
+	var call *ast.CallExpr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	case *ast.GoStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return ""
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(id.Name) != 1 {
+		return ""
+	}
+	return id.Name
+}
+
+func blockLabel(b *cfgBlock) string {
+	var names []string
+	for _, s := range b.nodes {
+		if m := markerLabel(s); m != "" {
+			names = append(names, m)
+		}
+	}
+	return strings.Join(names, "+")
+}
+
+// contractedEdges renders the CFG as "label -> succLabels" for every marker
+// block (plus "entry" when the entry block itself has no markers), where
+// successor labels are found by skipping through unlabeled blocks.
+func contractedEdges(g *funcCFG) map[string][]string {
+	labels := make(map[*cfgBlock]string)
+	for _, b := range g.blocks {
+		labels[b] = blockLabel(b)
+	}
+	labels[g.exit] = "exit"
+	if labels[g.entry] == "" {
+		labels[g.entry] = "entry"
+	}
+
+	// nearest returns the labeled blocks reachable from b by skipping
+	// unlabeled blocks (b itself excluded).
+	var nearest func(b *cfgBlock, seen map[*cfgBlock]bool, out map[string]bool)
+	nearest = func(b *cfgBlock, seen map[*cfgBlock]bool, out map[string]bool) {
+		for _, s := range b.succs {
+			if l := labels[s]; l != "" {
+				out[l] = true
+				continue
+			}
+			if !seen[s] {
+				seen[s] = true
+				nearest(s, seen, out)
+			}
+		}
+	}
+
+	edges := make(map[string][]string)
+	for _, b := range g.blocks {
+		l := labels[b]
+		if l == "" || l == "exit" {
+			continue
+		}
+		out := map[string]bool{}
+		nearest(b, map[*cfgBlock]bool{b: true}, out)
+		var succs []string
+		for s := range out {
+			succs = append(succs, s)
+		}
+		sort.Strings(succs)
+		if prev, ok := edges[l]; ok {
+			// Two blocks with the same label (shouldn't happen in these
+			// fixtures) — merge to keep the failure readable.
+			succs = append(succs, prev...)
+			sort.Strings(succs)
+		}
+		edges[l] = succs
+	}
+	return edges
+}
+
+func buildFixtureCFG(t *testing.T, body string) *funcCFG {
+	t.Helper()
+	src := "package p\nfunc f(x bool, items []int, ch chan int) {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return buildCFG(fn.Body, nil)
+}
+
+func TestCFGShapes(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+		want map[string][]string
+	}{
+		{
+			name: "straight line",
+			body: "a(); b()",
+			want: map[string][]string{"a+b": {"exit"}},
+		},
+		{
+			name: "if without else",
+			body: "a(); if x { b() }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"c"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "if with else",
+			body: "a(); if x { b() } else { c() }; d()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"d"},
+				"c": {"d"},
+				"d": {"exit"},
+			},
+		},
+		{
+			name: "for loop",
+			body: "a(); for x { b() }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"b", "c"}, // back edge through the loop head
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "infinite for has no exit edge from the head",
+			body: "a(); for { b() }",
+			want: map[string][]string{
+				"a": {"b"},
+				"b": {"b"},
+			},
+		},
+		{
+			name: "range loop",
+			body: "a(); for range items { b() }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"b", "c"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "switch with default",
+			body: "a(); switch { case x: b(); default: c() }; d()",
+			want: map[string][]string{
+				"a": {"b", "c"}, // no skip edge: some clause always runs
+				"b": {"d"},
+				"c": {"d"},
+				"d": {"exit"},
+			},
+		},
+		{
+			name: "switch without default",
+			body: "a(); switch { case x: b() }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"}, // skip edge: no case may match
+				"b": {"c"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "switch fallthrough",
+			body: "a(); switch { case x: b(); fallthrough; case true: c() }; d()",
+			want: map[string][]string{
+				"a": {"b", "c", "d"}, // skip edge: the builder does not evaluate `case true`
+				"b": {"c"},           // fallthrough edges to the next clause, not past the switch
+				"c": {"d"},
+				"d": {"exit"},
+			},
+		},
+		{
+			name: "early return",
+			body: "a(); if x { b(); return }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"exit"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "panic terminates the path",
+			body: "a(); if x { b(); panic(\"boom\") }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"exit"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "defer is a plain statement at registration",
+			body: "a(); defer b(); c()",
+			want: map[string][]string{"a+b+c": {"exit"}},
+		},
+		{
+			name: "goto backward",
+			body: "a(); L: b(); if x { goto L }; c()",
+			want: map[string][]string{
+				"a": {"b"},
+				"b": {"b", "c"}, // the goto re-enters the labeled block
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "goto forward",
+			body: "a(); if x { goto L }; b(); L: c()",
+			want: map[string][]string{
+				"a": {"b", "c"}, // then-branch jumps straight to the label
+				"b": {"c"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "labeled break",
+			body: "a(); L: for { b(); for { if x { break L }; c() } }; d()",
+			want: map[string][]string{
+				"a": {"b"},
+				"b": {"c", "d"}, // inner head → c; break L → d
+				"c": {"c", "d"},
+				"d": {"exit"},
+			},
+		},
+		{
+			name: "continue",
+			body: "a(); for x { if x { continue }; b() }; c()",
+			want: map[string][]string{
+				"a": {"b", "c"},
+				"b": {"b", "c"},
+				"c": {"exit"},
+			},
+		},
+		{
+			name: "select clauses each succeed the header",
+			body: "a(); select { case <-ch: b(); case ch <- 1: c() }; d()",
+			want: map[string][]string{
+				"a": {"b", "c"}, // no skip edge: select blocks until a case fires
+				"b": {"d"},
+				"c": {"d"},
+				"d": {"exit"},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			g := buildFixtureCFG(t, tt.body)
+			got := contractedEdges(g)
+			for label, want := range tt.want {
+				if gotSuccs, ok := got[label]; !ok {
+					t.Errorf("no block labeled %q (have %v)", label, keysOf(got))
+				} else if fmt.Sprint(gotSuccs) != fmt.Sprint(want) {
+					t.Errorf("block %q: successors %v, want %v", label, gotSuccs, want)
+				}
+			}
+			for label := range got {
+				if label == "entry" {
+					continue
+				}
+				if _, ok := tt.want[label]; !ok {
+					t.Errorf("unexpected labeled block %q with successors %v", label, got[label])
+				}
+			}
+		})
+	}
+}
+
+func keysOf(m map[string][]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

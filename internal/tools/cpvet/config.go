@@ -33,6 +33,36 @@ type Config struct {
 	// through the WAL API.
 	WALPkg        string
 	WALClientPkgs map[string]bool
+
+	// ConcurrencyPkgs lists import paths where the flow-sensitive lock
+	// discipline analyzers apply: lockheld (the *Locked convention and
+	// guarded-field access), unlockpath (every Lock released on all CFG
+	// paths), and lockorder (acquisition-order cycles).
+	ConcurrencyPkgs map[string]bool
+
+	// HotPathPkgs lists import paths whose mutexes are hot-path: blockedlock
+	// flags blocking operations — channel send/receive, select without
+	// default, and the calls in BlockingCalls — while any mutex is held.
+	HotPathPkgs map[string]bool
+
+	// BlockingCalls names calls blockedlock treats as blocking, keyed
+	// "pkgpath.Func" for package functions and "pkgpath.Type.Method" for
+	// methods (interface methods included), e.g. "time.Sleep",
+	// "os.File.Sync", "repro/internal/durable.Store.AppendSync".
+	BlockingCalls map[string]bool
+
+	// GoroutinePkgs lists import paths where every `go` statement must be
+	// joined (a WaitGroup Add/Done pairing visible at the spawn site) or
+	// bounded (the goroutine selects/receives on ctx.Done() or a
+	// stop/shutdown channel).
+	GoroutinePkgs map[string]bool
+
+	// LockOrder seeds the lock-acquisition graph with canonical edges
+	// (each pair is before → after, using lock class keys
+	// "pkgpath.TypeName.field"). Code acquiring in the reverse direction
+	// closes a cycle and is reported by lockorder even if the forward
+	// acquisition never appears syntactically.
+	LockOrder [][2]string
 }
 
 // DefaultConfig returns the contract scopes for this repository.
@@ -61,6 +91,46 @@ func DefaultConfig() *Config {
 		WALPkg: "repro/internal/durable",
 		WALClientPkgs: map[string]bool{
 			"repro/internal/serve": true,
+		},
+		ConcurrencyPkgs: map[string]bool{
+			"repro/internal/serve":     true,
+			"repro/internal/durable":   true,
+			"repro/internal/segtree":   true,
+			"repro/internal/selection": true,
+			"repro/internal/cleaning":  true,
+			"repro/cmd/cpserve":        true,
+		},
+		HotPathPkgs: map[string]bool{
+			"repro/internal/serve":   true,
+			"repro/internal/durable": true,
+			"repro/internal/segtree": true,
+		},
+		BlockingCalls: map[string]bool{
+			"time.Sleep":          true,
+			"os.File.Sync":        true,
+			"sync.WaitGroup.Wait": true,
+			// Group-commit WAL entry points: each waits for (or performs) an
+			// fsync.
+			"repro/internal/durable.Store.AppendSync":   true,
+			"repro/internal/durable.Store.AppendWait":   true,
+			"repro/internal/durable.Store.startSegment": true,
+			"repro/internal/durable.syncDir":            true,
+		},
+		GoroutinePkgs: map[string]bool{
+			"repro/internal/serve":     true,
+			"repro/internal/durable":   true,
+			"repro/internal/segtree":   true,
+			"repro/internal/selection": true,
+			"repro/internal/cleaning":  true,
+			"repro/cmd/cpserve":        true,
+		},
+		// The canonical serve-layer hierarchy: Server.mu before the session
+		// store's mu before any Session.mu (see docs/ARCHITECTURE.md,
+		// "Locking"). snapshotState in serve/durable.go exercises the full
+		// chain.
+		LockOrder: [][2]string{
+			{"repro/internal/serve.Server.mu", "repro/internal/serve.sessionStore.mu"},
+			{"repro/internal/serve.sessionStore.mu", "repro/internal/serve.Session.mu"},
 		},
 	}
 }

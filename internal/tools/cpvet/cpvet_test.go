@@ -58,6 +58,51 @@ func TestNoWallTime(t *testing.T) {
 	vettest.Run(t, fixture("nowalltime"), "fix/nowalltime", []*cpvet.Analyzer{cpvet.NoWallTime}, cfg)
 }
 
+func TestLockHeld(t *testing.T) {
+	cfg := &cpvet.Config{ConcurrencyPkgs: map[string]bool{"fix/lockheld": true}}
+	vettest.Run(t, fixture("lockheld"), "fix/lockheld", []*cpvet.Analyzer{cpvet.LockHeld}, cfg)
+}
+
+func TestUnlockPath(t *testing.T) {
+	cfg := &cpvet.Config{ConcurrencyPkgs: map[string]bool{"fix/unlockpath": true}}
+	vettest.Run(t, fixture("unlockpath"), "fix/unlockpath", []*cpvet.Analyzer{cpvet.UnlockPath}, cfg)
+}
+
+func TestLockOrder(t *testing.T) {
+	cfg := &cpvet.Config{ConcurrencyPkgs: map[string]bool{"fix/lockorder": true}}
+	vettest.Run(t, fixture("lockorder"), "fix/lockorder", []*cpvet.Analyzer{cpvet.LockOrder}, cfg)
+}
+
+// TestLockOrderSeeded pins the Config.LockOrder mechanism: the canonical
+// Store.mu → Session.mu edge comes from configuration, and only the
+// inverted acquisition in the fixture is reported — the forward direction
+// stays clean even while the cycle exists.
+func TestLockOrderSeeded(t *testing.T) {
+	cfg := &cpvet.Config{
+		ConcurrencyPkgs: map[string]bool{"fix/lockorderseed": true},
+		LockOrder: [][2]string{
+			{"fix/lockorderseed.Store.mu", "fix/lockorderseed.Session.mu"},
+		},
+	}
+	vettest.Run(t, fixture("lockorderseed"), "fix/lockorderseed", []*cpvet.Analyzer{cpvet.LockOrder}, cfg)
+}
+
+func TestBlockedLock(t *testing.T) {
+	cfg := &cpvet.Config{
+		HotPathPkgs: map[string]bool{"fix/blockedlock": true},
+		BlockingCalls: map[string]bool{
+			"time.Sleep":   true,
+			"os.File.Sync": true,
+		},
+	}
+	vettest.Run(t, fixture("blockedlock"), "fix/blockedlock", []*cpvet.Analyzer{cpvet.BlockedLock}, cfg)
+}
+
+func TestGoroutine(t *testing.T) {
+	cfg := &cpvet.Config{GoroutinePkgs: map[string]bool{"fix/goroutine": true}}
+	vettest.Run(t, fixture("goroutine"), "fix/goroutine", []*cpvet.Analyzer{cpvet.Goroutine}, cfg)
+}
+
 // TestRepoLintsClean is the integration check behind `make verify-static`:
 // the full suite with the repository's own config must report nothing on the
 // repository itself.

@@ -1,0 +1,450 @@
+package cpvet
+
+// This file is the shared lock-identity and held-lock dataflow layer used by
+// the flow-sensitive concurrency analyzers. It answers two questions:
+//
+//   1. "is this call a mutex operation, and on which lock?" — mutexOp
+//      recognizes Lock/Unlock/RLock/RUnlock calls whose receiver's type is
+//      sync.Mutex or sync.RWMutex and names the lock two ways: a display key
+//      (the printed receiver expression, e.g. "sess.mu" — what a human reads
+//      and what syntactic matching within one function uses) and a class key
+//      (pkgpath.TypeName.field, e.g. "repro/internal/serve.Session.mu" —
+//      stable across functions, what the lock-order graph uses).
+//
+//   2. "which locks are held at this statement?" — heldSets runs a forward
+//      must-analysis over the funcCFG: a lock is held at a point only if it
+//      is held on every path reaching it (intersection at joins), computed
+//      with a worklist to fixpoint so loops converge.
+//
+// defer mu.Unlock() does NOT release the lock in this model: the unlock runs
+// at function exit, so for everything between the defer and the return the
+// lock is genuinely held. unlockpath separately credits the defer as path
+// coverage. Functions named *Locked are presumed to hold every mutex field
+// of their receiver on entry — that presumption is what makes the lockheld
+// call-site rule and the st.mu→sess.mu lockorder edge visible inside helpers
+// like expireLocked.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockOp is the kind of mutex method call.
+type lockOp int
+
+const (
+	opLock lockOp = iota
+	opUnlock
+	opRLock
+	opRUnlock
+)
+
+// lockRef identifies one lock acquisition or release site.
+type lockRef struct {
+	display string // printed receiver expr: "sess.mu", "st.mu", "mu"
+	class   string // pkgpath.TypeName.field or pkgpath.varname; "" if unresolvable
+	op      lockOp
+	call    *ast.CallExpr
+}
+
+// read reports whether the op is the reader half of an RWMutex.
+func (r lockRef) read() bool { return r.op == opRLock || r.op == opRUnlock }
+
+// heldKey is the identity used in held-sets: display string plus read-ness,
+// so mu.RLock pairs with mu.RUnlock and not mu.Unlock.
+type heldKey struct {
+	display string
+	read    bool
+}
+
+// heldLock is what a held-set stores per key: the class (for lockorder) and
+// the acquisition call (for positions in reports).
+type heldLock struct {
+	class string
+	at    *ast.CallExpr
+}
+
+// mutexOp reports whether call is a (R)Lock/(R)Unlock on a sync.Mutex or
+// sync.RWMutex receiver, and identifies the lock.
+func mutexOp(info *types.Info, pkg *types.Package, call *ast.CallExpr) (lockRef, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockRef{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "Unlock":
+		op = opUnlock
+	case "RLock":
+		op = opRLock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return lockRef{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return lockRef{}, false
+	}
+	if !isMutexType(tv.Type) {
+		return lockRef{}, false
+	}
+	return lockRef{
+		display: exprString(sel.X),
+		class:   lockClass(info, pkg, sel.X),
+		op:      op,
+		call:    call,
+	}, true
+}
+
+// isMutexType reports whether t (after pointer deref) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockClass derives the cross-function identity of a lock expression:
+// for a field selector x.mu it is "pkgpath.TypeName.mu" keyed by the type
+// declaring the field; for a package-level or local var it is
+// "pkgpath.varname". Returns "" when the expression is too dynamic to name
+// (map index, function result, ...).
+func lockClass(info *types.Info, pkg *types.Package, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := info.Selections[e]
+		if !ok {
+			return ""
+		}
+		fld, ok := sel.Obj().(*types.Var)
+		if !ok || !fld.IsField() {
+			return ""
+		}
+		// Name the field by the struct type that declares it: walk the
+		// receiver type to its named form.
+		recv := sel.Recv()
+		for {
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+				continue
+			}
+			break
+		}
+		if named, ok := recv.(*types.Named); ok {
+			obj := named.Obj()
+			pkgPath := ""
+			if obj.Pkg() != nil {
+				pkgPath = obj.Pkg().Path()
+			}
+			return pkgPath + "." + obj.Name() + "." + fld.Name()
+		}
+		return ""
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			pkgPath := ""
+			if v.Pkg() != nil {
+				pkgPath = v.Pkg().Path()
+			}
+			return pkgPath + "." + v.Name()
+		}
+		return ""
+	case *ast.UnaryExpr:
+		return lockClass(info, pkg, e.X)
+	case *ast.StarExpr:
+		return lockClass(info, pkg, e.X)
+	}
+	return ""
+}
+
+// heldSet maps heldKey → acquisition info. Sets are tiny (1–3 locks), so
+// map copies are cheap.
+type heldSet map[heldKey]heldLock
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect returns the must-held intersection of a and b (keys in both; the
+// heldLock value is taken from a arbitrarily — acquisition sites may differ
+// across paths but the class is the same).
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func sameSet(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// funcFlow is the per-function dataflow result: the held-set at entry to
+// each block, plus the function's CFG.
+type funcFlow struct {
+	cfg  *funcCFG
+	in   map[*cfgBlock]heldSet
+	seed heldSet // entry presumption (the *Locked convention)
+}
+
+// lockedSeed builds the entry held-set presumed for a *Locked function: every
+// sync.Mutex / sync.RWMutex field of the receiver's struct type, keyed by
+// "<recvname>.<field>". Non-methods and non-*Locked functions seed empty.
+func lockedSeed(info *types.Info, pkg *types.Package, fn *ast.FuncDecl) heldSet {
+	seed := heldSet{}
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || !strings.HasSuffix(fn.Name.Name, "Locked") {
+		return seed
+	}
+	if len(fn.Recv.List[0].Names) != 1 {
+		return seed
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return seed
+	}
+	recvObj := info.Defs[fn.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return seed
+	}
+	t := recvObj.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return seed
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return seed
+	}
+	pkgPath := ""
+	if named.Obj().Pkg() != nil {
+		pkgPath = named.Obj().Pkg().Path()
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if !isMutexType(fld.Type()) {
+			continue
+		}
+		class := pkgPath + "." + named.Obj().Name() + "." + fld.Name()
+		display := recvName + "." + fld.Name()
+		// Presume the write lock; an RWMutex held for reading inside a
+		// *Locked helper is indistinguishable statically, and presuming
+		// write-held is the conservative choice for every client analyzer.
+		seed[heldKey{display: display}] = heldLock{class: class}
+	}
+	return seed
+}
+
+// heldFlow computes the held-set at entry to every block of body, starting
+// from seed. transfer is applied statement-by-statement inside blocks by
+// callers via applyStmt; here we only need the per-block fixpoint.
+func heldFlow(info *types.Info, pkg *types.Package, g *funcCFG, seed heldSet) *funcFlow {
+	ff := &funcFlow{cfg: g, in: make(map[*cfgBlock]heldSet, len(g.blocks)), seed: seed}
+	ff.in[g.entry] = seed.clone()
+
+	work := []*cfgBlock{g.entry}
+	inWork := map[*cfgBlock]bool{g.entry: true}
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inWork[blk] = false
+
+		out := ff.in[blk].clone()
+		for _, s := range blk.nodes {
+			applyStmt(info, pkg, s, out)
+		}
+		for _, succ := range blk.succs {
+			var next heldSet
+			if cur, ok := ff.in[succ]; ok {
+				next = intersect(cur, out)
+				if sameSet(next, cur) {
+					continue
+				}
+			} else {
+				next = out.clone()
+			}
+			ff.in[succ] = next
+			if !inWork[succ] {
+				inWork[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return ff
+}
+
+// applyStmt mutates held with the lock effects of one statement. Only
+// top-level expression statements and defers change the set:
+//
+//	mu.Lock()          → add {mu, write}
+//	mu.Unlock()        → remove {mu, write}
+//	mu.RLock()         → add {mu, read}
+//	mu.RUnlock()       → remove {mu, read}
+//	defer mu.Unlock()  → no change (runs at exit; lock stays held here)
+//
+// Lock calls buried in larger expressions are vanishingly rare for mutexes
+// (Lock returns nothing) and are ignored.
+func applyStmt(info *types.Info, pkg *types.Package, s ast.Stmt, held heldSet) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	ref, ok := mutexOp(info, pkg, call)
+	if !ok {
+		return
+	}
+	key := heldKey{display: ref.display, read: ref.read()}
+	switch ref.op {
+	case opLock, opRLock:
+		held[key] = heldLock{class: ref.class, at: call}
+	case opUnlock, opRUnlock:
+		delete(held, key)
+	}
+}
+
+// heldBefore walks a block's statements from its entry set and returns the
+// held-set in force just before stmt (which must be one of blk.nodes).
+func (ff *funcFlow) heldBefore(info *types.Info, pkg *types.Package, blk *cfgBlock, stmt ast.Stmt) heldSet {
+	held := ff.in[blk]
+	if held == nil {
+		held = heldSet{} // unreachable block
+	}
+	held = held.clone()
+	for _, s := range blk.nodes {
+		if s == stmt {
+			return held
+		}
+		applyStmt(info, pkg, s, held)
+	}
+	return held
+}
+
+// funcBodies yields every function body in the file along with its declaring
+// FuncDecl (nil for FuncLits) — the unit of intraprocedural analysis.
+// FuncLit bodies nested inside a FuncDecl are yielded separately and are NOT
+// part of the enclosing body's CFG.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for function literals
+	lit  *ast.FuncLit  // nil for declared functions
+	body *ast.BlockStmt
+}
+
+func funcBodies(file *ast.File) []funcBody {
+	var out []funcBody
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		out = append(out, funcBody{decl: fd, body: fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				out = append(out, funcBody{lit: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// stmtScanNodes returns the parts of a block-resident statement that actually
+// execute at that CFG position. Compound statements (if/for/switch) are
+// appended to the block where their condition/tag evaluates, but their bodies
+// live in other blocks — scanning the whole subtree there would attribute
+// body code to the wrong flow state. Select headers evaluate nothing; their
+// comm statements are appended inside the clause blocks.
+func stmtScanNodes(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return []ast.Node{s.Cond}
+	case *ast.ForStmt:
+		if s.Cond != nil {
+			return []ast.Node{s.Cond}
+		}
+		return nil
+	case *ast.RangeStmt:
+		out := []ast.Node{s.X}
+		if s.Key != nil {
+			out = append(out, s.Key)
+		}
+		if s.Value != nil {
+			out = append(out, s.Value)
+		}
+		return out
+	case *ast.SwitchStmt:
+		if s.Tag != nil {
+			return []ast.Node{s.Tag}
+		}
+		return nil
+	case *ast.TypeSwitchStmt:
+		return []ast.Node{s.Assign}
+	case *ast.SelectStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+// scanShallow runs fn over each scan node of s without descending into
+// nested function literals.
+func scanShallow(s ast.Stmt, fn func(ast.Node) bool) {
+	for _, n := range stmtScanNodes(s) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			return fn(n)
+		})
+	}
+}
+
+// inspectShallow walks body without descending into nested function
+// literals: a FuncLit runs at some other time, so its statements are not part
+// of the enclosing function's flow. (The enclosing FuncLit node itself never
+// appears when walking its BlockStmt, so every FuncLit seen is nested.)
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,218 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Goroutine checks that every `go` statement in scoped non-test code is
+// accounted for: either joined — the spawned body calls Done() on a
+// sync.WaitGroup that the spawning function Adds to — or bounded — the body
+// receives or selects on ctx.Done() or a stop/shutdown channel, so Close can
+// end it. A goroutine with neither is a leak: it outlives Server.Close,
+// keeps its captures alive, and (the PR-6-era compaction bug class) can
+// touch a store that has already been closed underneath it.
+//
+// The check is syntactic over the spawned body: a FuncLit is inspected
+// directly; `go x.method()` resolves the method within the package and
+// inspects its declaration. A spawn whose lifetime is bounded by something
+// the analyzer cannot see (process-lifetime singletons, one-shot startup
+// work) is silenced with //cpvet:allow goroutine -- <why>.
+var Goroutine = &Analyzer{
+	Name: "goroutine",
+	Doc:  "flags go statements neither joined via a WaitGroup Add/Done pairing nor bounded by a ctx.Done()/stop-channel select",
+	Run:  runGoroutine,
+}
+
+// stopChanWords are the name fragments that mark a channel as a lifecycle
+// signal.
+var stopChanWords = []string{"stop", "done", "quit", "shutdown", "closing", "close", "exit", "cancel"}
+
+func runGoroutine(p *Pass) error {
+	if !p.Config.GoroutinePkgs[p.Pkg.Path()] {
+		return nil
+	}
+	decls := packageFuncDecls(p)
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			for _, s := range bodyGoStmts(fb.body) {
+				checkGoStmt(p, fb, s, decls)
+			}
+		}
+	}
+	return nil
+}
+
+// packageFuncDecls maps each function object defined in this package to its
+// declaration, so `go st.reaperLoop()` can be resolved to a body.
+func packageFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bodyGoStmts collects the go statements belonging directly to body (not to
+// nested function literals, which are separate funcBodies).
+func bodyGoStmts(body *ast.BlockStmt) []*ast.GoStmt {
+	var out []*ast.GoStmt
+	inspectShallow(body, func(n ast.Node) bool {
+		if g, ok := n.(*ast.GoStmt); ok {
+			out = append(out, g)
+			// The spawned FuncLit (if any) is a nested lit — do not descend;
+			// its own go statements are found via its funcBody.
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+func checkGoStmt(p *Pass, fb funcBody, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) {
+	spawned := spawnedBody(p, g, decls)
+	if spawned == nil {
+		// An out-of-package or dynamic target: nothing to inspect. The call
+		// is still a detached spawn from this package's point of view.
+		p.Reportf(g.Pos(), "goroutine body is not analyzable here; join it with a WaitGroup or bound it with a stop channel (or //cpvet:allow goroutine -- why it is safe)")
+		return
+	}
+	if wg := joinedWaitGroup(p, spawned); wg != "" && addsToWaitGroup(p, fb.body, wg) {
+		return
+	}
+	if boundedByStopSignal(p, spawned) {
+		return
+	}
+	p.Reportf(g.Pos(), "goroutine is neither joined (no WaitGroup Add/Done pairing) nor bounded (no ctx.Done()/stop-channel receive); it can outlive Close")
+}
+
+// spawnedBody resolves the block that the go statement runs: a FuncLit body,
+// or the declaration of a same-package function/method.
+func spawnedBody(p *Pass, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fn, ok := p.TypesInfo.Uses[fun].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := p.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[fn]; fd != nil {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// joinedWaitGroup returns the display name of the sync.WaitGroup the spawned
+// body calls Done() on ("" if none). Nested closures count: `defer
+// wg.Done()` wrapped in a cleanup closure still joins.
+func joinedWaitGroup(p *Pass, body *ast.BlockStmt) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if wg, ok := waitGroupMethod(p, call, "Done"); ok {
+			name = wg
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+// addsToWaitGroup reports whether the spawning body calls Add on the same
+// WaitGroup display expression (the Add must be visible at the spawn site —
+// an Add hidden in a helper does not count, by design: the pairing should be
+// reviewable in one screenful).
+func addsToWaitGroup(p *Pass, body *ast.BlockStmt, wg string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := waitGroupMethod(p, call, "Add"); ok && name == wg {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// waitGroupMethod matches wg.<method>() on a sync.WaitGroup receiver and
+// returns the receiver's display expression.
+func waitGroupMethod(p *Pass, call *ast.CallExpr, method string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return "", false
+	}
+	if !p.methodOn(call.Fun, "sync", "WaitGroup", method) {
+		return "", false
+	}
+	return exprString(sel.X), true
+}
+
+// boundedByStopSignal reports whether the body receives from (or selects on,
+// or ranges over) a lifecycle channel: ctx.Done() or a channel whose name
+// contains a stop word.
+func boundedByStopSignal(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChan(p, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && isStopChan(p, n.X) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isStopChan reports whether e denotes a lifecycle signal: a Done() call
+// (context.Context and friends) or an expression whose final name component
+// contains a stop word.
+func isStopChan(p *Pass, e ast.Expr) bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		return false
+	}
+	name := exprString(e)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.ToLower(name)
+	for _, w := range stopChanWords {
+		if strings.Contains(name, w) {
+			return true
+		}
+	}
+	return false
+}

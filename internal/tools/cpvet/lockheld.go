@@ -1,0 +1,263 @@
+package cpvet
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockHeld enforces the *Locked naming convention and guarded-field access:
+//
+//  1. A method named fooLocked documents "caller holds the receiver's
+//     mutex". Its body must therefore never Lock or Unlock a mutex field of
+//     its own receiver — doing so either self-deadlocks or silently drops
+//     the caller's critical section.
+//
+//  2. A call x.fooLocked() is legal only where x's mutex is actually held:
+//     either the caller locked it on every path reaching the call (forward
+//     must-analysis over the CFG) or the caller is itself a *Locked method
+//     on the same receiver (its entry presumes the lock).
+//
+//  3. A struct field whose doc or line comment says "guarded by <mu>" may
+//     only be touched while <mu> on the same base expression is held —
+//     again via the must-analysis, so an access after an early Unlock or on
+//     a path that skipped the Lock is flagged.
+//
+// Accesses that are safe for structural reasons the analysis cannot see
+// (single-goroutine recovery before the server is reachable, constructor
+// code before the value escapes) are silenced with
+// //cpvet:allow lockheld -- <why>.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "enforces the *Locked convention: no self-locking, callers must hold the lock, guarded fields accessed only under their mutex",
+	Run:  runLockHeld,
+}
+
+// guardedByRE extracts the mutex field name from a "guarded by mu" comment.
+var guardedByRE = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+func runLockHeld(p *Pass) error {
+	if !p.Config.ConcurrencyPkgs[p.Pkg.Path()] {
+		return nil
+	}
+	guarded := collectGuardedFields(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockedSelfLock(p, fn)
+			checkHeldAccess(p, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// checkLockedSelfLock flags a *Locked method locking or unlocking a mutex
+// field of its own receiver (rule 1).
+func checkLockedSelfLock(p *Pass, fn *ast.FuncDecl) {
+	if !strings.HasSuffix(fn.Name.Name, "Locked") || fn.Recv == nil {
+		return
+	}
+	recvName := receiverName(fn)
+	if recvName == "" {
+		return
+	}
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ref, ok := mutexOp(p.TypesInfo, p.Pkg, call)
+		if !ok {
+			return true
+		}
+		if strings.HasPrefix(ref.display, recvName+".") {
+			p.Reportf(call.Pos(), "%s %ss %s, but the *Locked suffix promises the caller already holds it",
+				fn.Name.Name, strings.ToLower(lockOpName(ref.op)), ref.display)
+		}
+		return true
+	})
+}
+
+func lockOpName(op lockOp) string {
+	switch op {
+	case opLock:
+		return "Lock"
+	case opUnlock:
+		return "Unlock"
+	case opRLock:
+		return "RLock"
+	default:
+		return "RUnlock"
+	}
+}
+
+// checkHeldAccess runs the held-lock dataflow over fn and applies rules 2
+// and 3 statement by statement.
+func checkHeldAccess(p *Pass, fn *ast.FuncDecl, guarded map[string]string) {
+	g := buildCFG(fn.Body, p.TypesInfo)
+	seed := lockedSeed(p.TypesInfo, p.Pkg, fn)
+	ff := heldFlow(p.TypesInfo, p.Pkg, g, seed)
+
+	for _, blk := range ff.cfg.blocks {
+		held := ff.in[blk]
+		if held == nil {
+			held = heldSet{}
+		}
+		held = held.clone()
+		for _, s := range blk.nodes {
+			scanShallow(s, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkLockedCall(p, n, held)
+				case *ast.SelectorExpr:
+					checkGuardedField(p, n, held, guarded)
+				}
+				return true
+			})
+			applyStmt(p.TypesInfo, p.Pkg, s, held)
+		}
+	}
+}
+
+// checkLockedCall flags x.fooLocked() when no mutex of x is held (rule 2).
+func checkLockedCall(p *Pass, call *ast.CallExpr, held heldSet) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+		return
+	}
+	// Only method calls on a nameable receiver expression are checkable.
+	if selObj, ok := p.TypesInfo.Selections[sel]; !ok || selObj.Kind() != types.MethodVal {
+		return
+	}
+	base := exprString(sel.X)
+	if base == "" || base == "expr" {
+		return
+	}
+	for k := range held {
+		if strings.HasPrefix(k.display, base+".") {
+			return
+		}
+	}
+	p.Reportf(call.Pos(), "%s.%s() called without holding a %s mutex; *Locked methods require the caller to hold the lock",
+		base, sel.Sel.Name, base)
+}
+
+// checkGuardedField flags x.f where f's declaration says "guarded by mu" and
+// x.mu is not held (rule 3). Inside a *Locked function the receiver's locks
+// are presumed held by the seed, so only genuinely unguarded accesses fire.
+func checkGuardedField(p *Pass, sel *ast.SelectorExpr, held heldSet, guarded map[string]string) {
+	selection, ok := p.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	fld, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	class := fieldClass(selection.Recv(), fld.Name())
+	if class == "" {
+		return
+	}
+	muName, ok := guarded[class]
+	if !ok {
+		return
+	}
+	base := exprString(sel.X)
+	if base == "" || base == "expr" {
+		return
+	}
+	want := base + "." + muName
+	for k := range held {
+		if k.display == want {
+			return
+		}
+	}
+	p.Reportf(sel.Pos(), "%s.%s is guarded by %s, which is not held here", base, fld.Name(), want)
+}
+
+// fieldClass names a field by the struct type declaring it:
+// "pkgpath.TypeName.field".
+func fieldClass(recv types.Type, field string) string {
+	for {
+		if pt, ok := recv.(*types.Pointer); ok {
+			recv = pt.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	pkgPath := ""
+	if named.Obj().Pkg() != nil {
+		pkgPath = named.Obj().Pkg().Path()
+	}
+	return pkgPath + "." + named.Obj().Name() + "." + field
+}
+
+// collectGuardedFields scans the package's struct declarations for fields
+// whose doc or line comment contains "guarded by <mu>", returning
+// fieldClass → mutex field name. A comment on a field declaration with
+// multiple names guards all of them; a standalone "Observability counters
+// (guarded by mu)" doc comment above a run of fields guards only the fields
+// in that declaration group line.
+func collectGuardedFields(p *Pass) map[string]string {
+	out := map[string]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj := p.TypesInfo.Defs[ts.Name]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			prefix := obj.Pkg().Path() + "." + obj.Name() + "."
+			for _, fld := range st.Fields.List {
+				mu := guardComment(fld.Doc)
+				if mu == "" {
+					mu = guardComment(fld.Comment)
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					out[prefix+name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardComment(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+		return m[1]
+	}
+	return ""
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	name := fn.Recv.List[0].Names[0].Name
+	if name == "_" {
+		return ""
+	}
+	return name
+}

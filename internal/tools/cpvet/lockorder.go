@@ -1,0 +1,150 @@
+package cpvet
+
+import (
+	"go/token"
+	"sort"
+)
+
+// LockOrder builds the package's lock-acquisition graph and flags cycles.
+//
+// Every nested acquisition observed by the held-lock dataflow — "mu B locked
+// while mu A is held" — adds the edge A → B, where locks are identified by
+// class ("pkgpath.TypeName.field"), not by variable name, so st.mu → sess.mu
+// in one function and store.mu → s.mu in another land on the same edge. The
+// graph is seeded with the canonical edges from Config.LockOrder (for this
+// repository: Server.mu → sessionStore.mu → Session.mu), so code that
+// acquires in the reverse direction closes a cycle and is reported even if
+// the forward nesting appears only in a different package or only at
+// runtime.
+//
+// *Locked methods contribute edges through their entry presumption: inside
+// expireLocked (store lock presumed held), locking sess.mu records
+// sessionStore.mu → Session.mu.
+//
+// An acquisition that is genuinely ordered by other means (e.g. two values
+// of the same type always locked in ascending key order) is silenced with
+// //cpvet:allow lockorder -- <why>.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags lock-acquisition cycles against the observed + configured lock-order graph",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one observed nested acquisition: to was locked while from was
+// held.
+type lockEdge struct {
+	from, to         string // lock classes
+	fromDisp, toDisp string // receiver expressions, for the report
+	pos              token.Pos
+}
+
+func runLockOrder(p *Pass) error {
+	if !p.Config.ConcurrencyPkgs[p.Pkg.Path()] {
+		return nil
+	}
+
+	var observed []lockEdge
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			g := buildCFG(fb.body, p.TypesInfo)
+			seed := heldSet{}
+			if fb.decl != nil {
+				seed = lockedSeed(p.TypesInfo, p.Pkg, fb.decl)
+			}
+			ff := heldFlow(p.TypesInfo, p.Pkg, g, seed)
+			for _, blk := range ff.cfg.blocks {
+				held := ff.in[blk]
+				if held == nil {
+					continue
+				}
+				held = held.clone()
+				for _, s := range blk.nodes {
+					if ref, ok := stmtMutexOp(p, s); ok &&
+						(ref.op == opLock || ref.op == opRLock) && ref.class != "" {
+						for k, h := range held {
+							if h.class == "" || h.class == ref.class {
+								// Same-class nesting (two values of one type)
+								// has no static order; left to convention.
+								continue
+							}
+							observed = append(observed, lockEdge{
+								from:     h.class,
+								to:       ref.class,
+								fromDisp: k.display,
+								toDisp:   ref.display,
+								pos:      s.Pos(),
+							})
+						}
+					}
+					applyStmt(p.TypesInfo, p.Pkg, s, held)
+				}
+			}
+		}
+	}
+
+	// Adjacency over observed + seeded edges.
+	adj := map[string]map[string]bool{}
+	addEdge := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, e := range observed {
+		addEdge(e.from, e.to)
+	}
+	for _, e := range p.Config.LockOrder {
+		addEdge(e[0], e[1])
+	}
+
+	// Acquisitions that follow a canonical Config.LockOrder edge are never
+	// the bug: when a cycle exists, the inverted acquisition is the report.
+	canonical := map[string]bool{}
+	for _, e := range p.Config.LockOrder {
+		canonical[e[0]+"\x00"+e[1]] = true
+	}
+
+	// An observed edge a→b is part of a cycle iff b reaches a. Report at the
+	// acquisition position, once per (from,to,pos).
+	seen := map[string]bool{}
+	sort.Slice(observed, func(i, j int) bool { return observed[i].pos < observed[j].pos })
+	for _, e := range observed {
+		if canonical[e.from+"\x00"+e.to] {
+			continue
+		}
+		if !reaches(adj, e.to, e.from) {
+			continue
+		}
+		key := e.from + "\x00" + e.to + "\x00" + p.Fset.Position(e.pos).String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		p.Reportf(e.pos, "lock order cycle: %s (%s) acquired while holding %s (%s), but the lock-order graph already orders %s before %s",
+			e.toDisp, e.to, e.fromDisp, e.from, e.to, e.from)
+	}
+	return nil
+}
+
+// reaches reports whether from reaches to in adj.
+func reaches(adj map[string]map[string]bool, from, to string) bool {
+	if from == to {
+		return true
+	}
+	visited := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range adj[n] {
+			if m == to {
+				return true
+			}
+			if !visited[m] {
+				visited[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}

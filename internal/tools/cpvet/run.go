@@ -4,7 +4,9 @@ import (
 	"sort"
 )
 
-// All returns the full analyzer suite in a stable order.
+// All returns the full analyzer suite in a stable order: the five contract
+// analyzers from the first cpvet generation, then the five flow-sensitive
+// concurrency analyzers built on the CFG/dataflow layer.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MapOrder,
@@ -12,6 +14,11 @@ func All() []*Analyzer {
 		ErrMap,
 		WALFrame,
 		NoWallTime,
+		LockHeld,
+		UnlockPath,
+		LockOrder,
+		BlockedLock,
+		Goroutine,
 	}
 }
 
@@ -39,6 +46,24 @@ func Run(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]D
 // AnalyzePackage applies the analyzers to one loaded package, filtering
 // findings silenced by //cpvet:allow annotations.
 func AnalyzePackage(pkg *Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	all, err := AnalyzePackageAll(pkg, analyzers, cfg)
+	if err != nil {
+		return nil, err
+	}
+	diags := all[:0]
+	for _, d := range all {
+		if !d.Allowed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// AnalyzePackageAll is AnalyzePackage without the suppression filter: every
+// finding is returned, with Allowed set on those silenced by //cpvet:allow.
+// Machine consumers (cpvet -json) use this so the annotation inventory stays
+// visible.
+func AnalyzePackageAll(pkg *Package, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
 	dirs := parseDirectives(pkg.Fset, pkg.Files)
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -57,10 +82,27 @@ func AnalyzePackage(pkg *Package, analyzers []*Analyzer, cfg *Config) ([]Diagnos
 			return nil, err
 		}
 		for _, d := range raw {
-			if !dirs.allowed(d.Analyzer, d.Pos) {
-				diags = append(diags, d)
-			}
+			d.Allowed = dirs.allowed(d.Analyzer, d.Pos)
+			diags = append(diags, d)
 		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// RunAll is Run without the suppression filter (see AnalyzePackageAll).
+func RunAll(dir string, patterns []string, analyzers []*Analyzer, cfg *Config) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := AnalyzePackageAll(pkg, analyzers, cfg)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
 	}
 	sortDiagnostics(diags)
 	return diags, nil

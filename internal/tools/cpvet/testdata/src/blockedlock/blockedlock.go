@@ -1,0 +1,89 @@
+// Package blockedlock exercises the no-blocking-under-lock check: channel
+// operations, selects without default, and configured blocking calls are
+// flagged while a mutex is held; select-with-default and sync.Cond.Wait are
+// exempt.
+package blockedlock
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	ch   chan int
+	f    *os.File
+	n    int
+}
+
+func (s *S) badSend() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) badRecv() {
+	s.mu.Lock()
+	<-s.ch // want `channel receive while holding s\.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) badSelect() {
+	s.mu.Lock()
+	select { // want `select without default while holding s\.mu`
+	case v := <-s.ch:
+		s.n = v
+	}
+	s.mu.Unlock()
+}
+
+// okSelectDefault never blocks: a ready case or the default runs (negative).
+func (s *S) okSelectDefault() {
+	s.mu.Lock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) badSleep() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep \(blocking\) while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// okOutside blocks only after releasing (negative).
+func (s *S) okOutside() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	<-s.ch
+}
+
+// flushLocked: the *Locked entry presumption makes the fsync a finding even
+// though no Lock call appears in this function.
+func (s *S) flushLocked() error {
+	return s.f.Sync() // want `call to os\.File\.Sync \(blocking\) while holding s\.mu`
+}
+
+// okCondWait: Cond.Wait releases the mutex while parked (negative — Wait is
+// simply not a configured blocking call).
+func (s *S) okCondWait() {
+	s.mu.Lock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// allowedSync is a sanctioned fsync-under-lock (group-commit style).
+func (s *S) allowedSync() {
+	s.mu.Lock()
+	//cpvet:allow blockedlock -- fixture: fsync under the lock is the design, waiters park on cond
+	_ = s.f.Sync()
+	s.mu.Unlock()
+}

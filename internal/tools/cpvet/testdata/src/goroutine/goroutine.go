@@ -1,0 +1,93 @@
+// Package goroutine exercises the spawn-accounting check: every go
+// statement must be joined (WaitGroup Add/Done visible at the spawn site) or
+// bounded (the body receives/selects on ctx.Done() or a stop channel).
+package goroutine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type W struct {
+	stop chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+	n    int
+}
+
+// badDetached is the leak class: nothing joins or stops it.
+func (w *W) badDetached() {
+	go func() { // want `goroutine is neither joined .* nor bounded`
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}
+
+// goodWaitGroup pairs Add at the spawn site with Done in the body (negative).
+func (w *W) goodWaitGroup() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.n++
+	}()
+	w.wg.Wait()
+}
+
+// badDoneWithoutAdd: the Done alone does not count — the Add must be visible
+// where the goroutine is spawned.
+func (w *W) badDoneWithoutAdd() {
+	go func() { // want `goroutine is neither joined .* nor bounded`
+		defer w.wg.Done()
+		w.n++
+	}()
+}
+
+// goodCtx is bounded by the caller's context (negative).
+func (w *W) goodCtx(ctx context.Context) {
+	go func() {
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+				w.n++
+			}
+		}
+	}()
+}
+
+// goodStopChan spawns a named method whose body selects on the stop channel
+// (negative — the method is resolved within the package).
+func (w *W) goodStopChan() {
+	go w.loop()
+}
+
+func (w *W) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-w.work:
+			w.n += v
+		}
+	}
+}
+
+// badOpaque spawns a function the analyzer cannot see into.
+func badOpaque(d time.Duration) {
+	go time.Sleep(d) // want `goroutine body is not analyzable here`
+}
+
+// allowedDetached is a sanctioned process-lifetime worker.
+func (w *W) allowedDetached() {
+	//cpvet:allow goroutine -- fixture: process-lifetime worker, exits with the program
+	go func() {
+		for v := range w.work {
+			w.n += v
+		}
+	}()
+}

@@ -1,0 +1,69 @@
+// Package lockheld exercises the three lockheld rules: *Locked methods must
+// not lock their own receiver's mutex, *Locked calls require the lock held,
+// and "guarded by" fields may only be touched under their mutex.
+package lockheld
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	live map[string]int // guarded by mu
+	n    int
+}
+
+// evictLocked presumes mu held (negative: the seed covers the access).
+func (s *store) evictLocked() {
+	delete(s.live, "old")
+}
+
+// badLocked violates rule 1: a *Locked method managing its own lock.
+func (s *store) badLocked() {
+	s.mu.Lock() // want `badLocked locks s\.mu, but the \*Locked suffix promises the caller already holds it`
+	s.n++
+	s.mu.Unlock() // want `badLocked unlocks s\.mu, but the \*Locked suffix promises the caller already holds it`
+}
+
+// get holds the lock across the access (negative).
+func (s *store) get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live["a"]
+}
+
+// bad touches a guarded field with no lock at all.
+func (s *store) bad() int {
+	return s.live["a"] // want `s\.live is guarded by s\.mu, which is not held here`
+}
+
+// badAfterUnlock shows the check is flow-sensitive, not per-function.
+func (s *store) badAfterUnlock() int {
+	s.mu.Lock()
+	v := s.live["a"]
+	s.mu.Unlock()
+	return v + s.live["b"] // want `s\.live is guarded by s\.mu, which is not held here`
+}
+
+// badCall violates rule 2: calling a *Locked method without the lock.
+func (s *store) badCall() {
+	s.evictLocked() // want `s\.evictLocked\(\) called without holding a s mutex`
+}
+
+// goodCall holds the lock across the *Locked call (negative).
+func (s *store) goodCall() {
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+// chainLocked calls a sibling *Locked method: the entry presumption covers it
+// (negative).
+func (s *store) chainLocked() {
+	s.evictLocked()
+}
+
+// reset is sanctioned unlocked access: the value has not escaped yet.
+//
+//cpvet:allow lockheld -- fixture: constructor-style access before the store escapes
+func (s *store) reset() {
+	s.live = map[string]int{}
+}

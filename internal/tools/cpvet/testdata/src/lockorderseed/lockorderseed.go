@@ -1,0 +1,39 @@
+// Package lockorderseed exercises the Config.LockOrder seeding: the test
+// config pins Store.mu → Session.mu as the canonical order, so the inverted
+// acquisition below closes a cycle even though the forward nesting never
+// appears in this package — exactly how the repository pins its
+// st.mu → sess.mu hierarchy.
+package lockorderseed
+
+import "sync"
+
+type Store struct {
+	mu   sync.Mutex
+	live map[string]*Session // guarded by mu
+}
+
+type Session struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inverted acquires against the seeded canonical order.
+func inverted(st *Store, sess *Session) {
+	sess.mu.Lock()
+	st.mu.Lock() // want `lock order cycle`
+	st.mu.Unlock()
+	sess.mu.Unlock()
+}
+
+// forward matches the seeded order; it is never the bug (negative — the
+// canonical direction is exempt even while the cycle above exists).
+func forward(st *Store, sess *Session) {
+	st.mu.Lock()
+	for _, sess := range st.live {
+		_ = sess
+	}
+	sess.mu.Lock()
+	sess.n++
+	sess.mu.Unlock()
+	st.mu.Unlock()
+}

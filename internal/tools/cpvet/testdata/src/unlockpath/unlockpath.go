@@ -1,0 +1,119 @@
+// Package unlockpath exercises the all-paths release check: early returns
+// and panics between Lock and Unlock leak the lock; defer always covers.
+package unlockpath
+
+import "sync"
+
+type counter struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	err error
+}
+
+// good uses the sanctioned defer idiom (negative).
+func (c *counter) good() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// goodExplicit releases on its single path (negative).
+func (c *counter) goodExplicit(x bool) {
+	c.mu.Lock()
+	if x {
+		c.n++
+	}
+	c.mu.Unlock()
+}
+
+// goodBothBranches releases in each branch (negative).
+func (c *counter) goodBothBranches(x bool) int {
+	c.mu.Lock()
+	if x {
+		c.mu.Unlock()
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// badEarlyReturn leaks on the x path.
+func (c *counter) badEarlyReturn(x bool) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path`
+	if x {
+		return
+	}
+	c.mu.Unlock()
+}
+
+// badPanic leaks when the panic path unwinds.
+func (c *counter) badPanic(x bool) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path`
+	if x {
+		panic("boom")
+	}
+	c.mu.Unlock()
+}
+
+// goodPanicDefer: the deferred unlock runs during unwinding (negative).
+func (c *counter) goodPanicDefer(x bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if x {
+		panic("boom")
+	}
+}
+
+// goodLoop locks and unlocks per iteration (negative).
+func (c *counter) goodLoop(items []int) {
+	for range items {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}
+
+// badLoopBreak leaks via the break path.
+func (c *counter) badLoopBreak(items []int) {
+	for _, it := range items {
+		c.mu.Lock() // want `c\.mu\.Lock\(\) is not released on every path`
+		if it < 0 {
+			break
+		}
+		c.mu.Unlock()
+	}
+}
+
+// goodReadLock pairs RLock with RUnlock (negative).
+func (c *counter) goodReadLock() int {
+	c.rw.RLock()
+	defer c.rw.RUnlock()
+	return c.n
+}
+
+// badReadWriteMismatch: an Unlock does not release an RLock.
+func (c *counter) badReadWriteMismatch() {
+	c.rw.RLock() // want `c\.rw\.RLock\(\) is not released on every path`
+	c.rw.Unlock()
+}
+
+// goodClosureDefer releases inside a deferred closure (negative).
+func (c *counter) goodClosureDefer() {
+	c.mu.Lock()
+	defer func() {
+		c.n = 0
+		c.mu.Unlock()
+	}()
+	c.n++
+}
+
+// acquire is a sanctioned handoff: release() is the other half.
+func (c *counter) acquire() {
+	//cpvet:allow unlockpath -- fixture: lock handoff; release() is the paired unlock
+	c.mu.Lock()
+}
+
+func (c *counter) release() {
+	c.mu.Unlock()
+}

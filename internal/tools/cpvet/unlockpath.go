@@ -1,0 +1,153 @@
+package cpvet
+
+import (
+	"go/ast"
+)
+
+// UnlockPath checks that every mutex acquisition is released on every
+// control-flow path out of the function.
+//
+// For each mu.Lock() / mu.RLock() in a concurrency-scoped package, the
+// analyzer walks the CFG forward: a path is covered once it executes a
+// matching Unlock (same receiver expression, same read/write half) or passes
+// a `defer mu.Unlock()` — deferred releases fire on every later exit,
+// panics included, which is exactly why they are the sanctioned idiom. A
+// path that reaches the function exit (an explicit return, falling off the
+// end, or a panic/os.Exit edge) still holding the lock is a leak: the next
+// acquirer deadlocks.
+//
+// An intentionally cross-function release (lock here, unlock in a callee or
+// a later callback) is silenced with //cpvet:allow unlockpath -- <why>.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "flags mutex Lock calls not released on every CFG path (use defer or unlock on all returns)",
+	Run:  runUnlockPath,
+}
+
+func runUnlockPath(p *Pass) error {
+	if !p.Config.ConcurrencyPkgs[p.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			g := buildCFG(fb.body, p.TypesInfo)
+			for _, blk := range g.blocks {
+				for i, s := range blk.nodes {
+					ref, ok := stmtMutexOp(p, s)
+					if !ok || (ref.op != opLock && ref.op != opRLock) {
+						continue
+					}
+					key := heldKey{display: ref.display, read: ref.read()}
+					if !releasedOnAllPaths(p, g, blk, i+1, key) {
+						p.Reportf(s.Pos(), "%s.%s() is not released on every path; unlock before each return/panic or use defer %s.%s()",
+							ref.display, lockName(ref.op), ref.display, unlockName(ref.op))
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func lockName(op lockOp) string {
+	if op == opRLock {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+func unlockName(op lockOp) string {
+	if op == opRLock {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// stmtMutexOp recognizes a top-level `mu.Lock()`-style statement.
+func stmtMutexOp(p *Pass, s ast.Stmt) (lockRef, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return lockRef{}, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return lockRef{}, false
+	}
+	return mutexOp(p.TypesInfo, p.Pkg, call)
+}
+
+// releasedOnAllPaths explores every path from blk.nodes[start] and reports
+// whether each one releases key before reaching the function exit. A path is
+// credited when it executes a matching unlock statement or passes a defer
+// that releases the key (directly or inside a deferred closure).
+func releasedOnAllPaths(p *Pass, g *funcCFG, blk *cfgBlock, start int, key heldKey) bool {
+	// visited guards block *entries*; the initial partial block is walked
+	// once from start and never revisited as a partial.
+	visited := make(map[*cfgBlock]bool)
+	type frame struct {
+		blk   *cfgBlock
+		start int
+	}
+	stack := []frame{{blk, start}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		released := false
+		for _, s := range fr.blk.nodes[fr.start:] {
+			if ref, ok := stmtMutexOp(p, s); ok &&
+				(ref.op == opUnlock || ref.op == opRUnlock) &&
+				ref.display == key.display && ref.read() == key.read {
+				released = true
+				break
+			}
+			if d, ok := s.(*ast.DeferStmt); ok && deferReleases(p, d, key) {
+				released = true
+				break
+			}
+		}
+		if released {
+			continue
+		}
+		for _, succ := range fr.blk.succs {
+			if succ == g.exit {
+				return false // reached exit still holding key
+			}
+			if !visited[succ] {
+				visited[succ] = true
+				stack = append(stack, frame{succ, 0})
+			}
+		}
+	}
+	return true
+}
+
+// deferReleases reports whether the defer statement releases key: either
+// `defer mu.Unlock()` directly, or a deferred closure that contains a
+// matching unlock anywhere in its body (conditional unlocks inside the
+// closure are credited optimistically).
+func deferReleases(p *Pass, d *ast.DeferStmt, key heldKey) bool {
+	if ref, ok := mutexOp(p.TypesInfo, p.Pkg, d.Call); ok &&
+		(ref.op == opUnlock || ref.op == opRUnlock) &&
+		ref.display == key.display && ref.read() == key.read {
+		return true
+	}
+	lit, ok := d.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ref, ok := mutexOp(p.TypesInfo, p.Pkg, call); ok &&
+			(ref.op == opUnlock || ref.op == opRUnlock) &&
+			ref.display == key.display && ref.read() == key.read {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

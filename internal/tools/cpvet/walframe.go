@@ -27,16 +27,16 @@ var WALFrame = &Analyzer{
 // walMutatingOSFuncs are the package-level os functions that mutate the
 // filesystem in ways relevant to WAL integrity.
 var walMutatingOSFuncs = map[string]bool{
-	"Rename":    true,
-	"Remove":    true,
-	"RemoveAll": true,
-	"WriteFile": true,
-	"Truncate":  true,
-	"Create":    true,
+	"Rename":     true,
+	"Remove":     true,
+	"RemoveAll":  true,
+	"WriteFile":  true,
+	"Truncate":   true,
+	"Create":     true,
 	"CreateTemp": true,
-	"OpenFile":  true,
-	"Mkdir":     false, // directory creation cannot tear a record
-	"MkdirAll":  false,
+	"OpenFile":   true,
+	"Mkdir":      false, // directory creation cannot tear a record
+	"MkdirAll":   false,
 }
 
 // walMutatingFileMethods are the *os.File methods that write or truncate.
