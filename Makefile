@@ -21,8 +21,18 @@ test:
 race:
 	$(GO) test -race -shuffle=on ./...
 
+# One iteration per benchmark (a smoke pass), with the raw transcript kept
+# in bench.out and a machine-readable summary (name, ns/op, custom metrics
+# like scans/op) in BENCH_<date>.json for trend tracking / CI artifacts.
+# Two sequenced commands, not a pipe, so a benchmark failure fails the
+# target instead of being masked by the parser's exit code.
+BENCH_JSON = BENCH_$(shell date +%Y-%m-%d).json
+
 bench:
-	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) test -run XXX -bench . -benchtime 1x ./... > bench.out || (cat bench.out; exit 1)
+	@cat bench.out
+	$(GO) run ./internal/tools/benchjson -in bench.out -out $(BENCH_JSON)
+	@echo "bench: wrote $(BENCH_JSON)"
 
 # Docs stay honest: vet catches comment drift, docverify extracts every
 # ```go fence from the README and architecture doc and builds it against
@@ -44,4 +54,4 @@ verify-static:
 verify: build test race verify-static verify-docs
 
 clean:
-	rm -f cpbench cpclean cpquery cpserve datagen *.test *.prof
+	rm -f cpbench cpclean cpquery cpserve datagen *.test *.prof bench.out BENCH_*.json

@@ -9,6 +9,7 @@ package repro
 import (
 	"context"
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"repro/internal/cleaning"
@@ -354,6 +355,41 @@ func benchBatchQ2CleanWhileQuery(b *testing.B, incremental bool) {
 
 func BenchmarkBatchQ2_Incremental(b *testing.B) { benchBatchQ2CleanWhileQuery(b, true) }
 func BenchmarkBatchQ2_FullSweep(b *testing.B)   { benchBatchQ2CleanWhileQuery(b, false) }
+
+// BenchmarkBatchQ2_ParallelSweep measures the span-parallel sweep on a
+// single-point full sweep (memo disabled, so every op pays the whole SS-DC
+// scan) across worker counts. A one-point batch leaves the entire
+// Parallelism budget to the intra-sweep span workers; workers=1 is the
+// sequential baseline the speedup is read against. Answers are bit-identical
+// across rows — only the wall clock moves.
+func BenchmarkBatchQ2_ParallelSweep(b *testing.B) {
+	d := benchServeData(1500, 4, 3, 4, 71)
+	point := benchServePoints(1, 4, 72)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			s := serve.NewServer(serve.Config{
+				Parallelism:      workers,
+				SweepWorkers:     workers,
+				DisableQueryMemo: true,
+			})
+			defer s.Close()
+			if _, err := s.Register("bench", d, knn.NegEuclidean{}, 3); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.BatchQuery(ctx, "bench", serve.BatchRequest{Points: point}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sw := s.Stats().Sweep
+			b.ReportMetric(float64(sw.Spans)/float64(b.N), "spans/op")
+			b.ReportMetric(float64(sw.Steals)/float64(b.N), "steals/op")
+		})
+	}
+}
 
 // --- CPClean ablations --------------------------------------------------------
 

@@ -3,8 +3,9 @@
 // Usage:
 //
 //	cpserve -addr :8080 [-train dirty.csv -name mydata] [-k 3]
-//	        [-max-candidates 125] [-parallelism 0] [-engine-cache 256]
-//	        [-max-engine-bytes 1073741824] [-max-sessions 64] [-session-ttl 15m]
+//	        [-max-candidates 125] [-parallelism 0] [-sweep-workers 0]
+//	        [-engine-cache 256] [-max-engine-bytes 1073741824]
+//	        [-max-sessions 64] [-session-ttl 15m]
 //	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
 //	        [-data-dir /var/lib/cpserve] [-wal-segment-bytes 8388608]
 //	        [-wal-sync-interval 5ms]
@@ -28,7 +29,10 @@
 //	POST   /v1/datasets/{name}/query    batch CP query {points, k?} → Q1/Q2/entropy per
 //	                                    point; repeats of a cached point answer from its
 //	                                    retained-tree memo, and a client disconnect cancels
-//	                                    the remaining fan-out (499)
+//	                                    the remaining fan-out (499). With
+//	                                    Accept: application/x-ndjson the results stream
+//	                                    back one JSON line per point, in request order,
+//	                                    as they complete
 //	POST   /v1/datasets/{name}/clean    create a CPClean session {truth, val_points,
 //	                                    k?, max_steps?} → 201 with a session ID;
 //	                                    the run is decoupled from any connection
@@ -43,7 +47,8 @@
 //	POST   /v1/clean/{id}/query         batch CP query under the session's current pins —
 //	                                    answers reflect the partially cleaned state, and
 //	                                    repeated batches reuse per-point retained trees
-//	                                    across pins (see query_memo in the session status)
+//	                                    across pins (see query_memo in the session status);
+//	                                    also streams NDJSON under the same Accept header
 //	DELETE /v1/clean/{id}               release the session
 //	GET    /v1/stats                    serving + WAL statistics (engine caches and byte
 //	                                    budgets, query-memo reuse, fsync count/latency,
@@ -91,6 +96,7 @@ func main() {
 	k := flag.Int("k", 3, "default K for -train")
 	maxCands := flag.Int("max-candidates", 125, "cap on candidates per row (-train)")
 	parallelism := flag.Int("parallelism", 0, "worker goroutines per batch (0 = GOMAXPROCS)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "span-parallel workers per SS-DC sweep, budgeted against -parallelism (0 or 1 = sequential)")
 	engineCache := flag.Int("engine-cache", 0, "per-dataset engine LRU size (0 = default, <0 = off)")
 	maxEngineBytes := flag.Int64("max-engine-bytes", 0, "byte budget per (dataset, K) engine cache (0 = default 1GiB, <0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 0, "cap on live clean sessions (0 = default, <0 = unlimited)")
@@ -127,6 +133,7 @@ func main() {
 	go func() {
 		s, err := serve.Open(serve.Config{
 			Parallelism:      *parallelism,
+			SweepWorkers:     *sweepWorkers,
 			EngineCacheSize:  *engineCache,
 			MaxEngineBytes:   *maxEngineBytes,
 			MaxCleanSessions: *maxSessions,

@@ -50,6 +50,12 @@ type Retained struct {
 	relevant []bool    // relevance mask under generation gen
 	terms    [][]term  // per scan position, the recorded support terms
 
+	// sweep selects the span-parallel scan (sweep.go) for rescans whose
+	// window is wide enough to split; requires a scratch pool (each worker
+	// borrows its own scan state). Zero value = sequential.
+	sweep      SweepConfig
+	sweepStats SweepStats
+
 	stats RetainedStats
 }
 
@@ -114,6 +120,15 @@ func (r *Retained) Generation() uint64 { return r.gen }
 
 // Stats snapshots the reuse counters.
 func (r *Retained) Stats() RetainedStats { return r.stats }
+
+// ConfigureSweep selects the span-parallel scan for future rescans. Answers
+// stay bit-identical to the sequential path for every worker count; without a
+// scratch pool (NewRetained's scratches == nil) the config is ignored and
+// scans stay sequential, since each span worker needs its own scan state.
+func (r *Retained) ConfigureSweep(cfg SweepConfig) { r.sweep = cfg }
+
+// SweepStats snapshots the span-parallel scan counters.
+func (r *Retained) SweepStats() SweepStats { return r.sweepStats }
 
 // Invalidate drops the memo so the next Counts runs a full sweep — the
 // ablation hook benchmarks use to measure the non-incremental baseline, and
@@ -208,10 +223,37 @@ func (r *Retained) deltaWindow(events []PinEvent) (lo, hi int, usable bool) {
 // current pins, re-records their term streams, and re-sums every position's
 // terms in scan order. Positions outside the window keep their retained
 // terms — the callers guarantee those are bit-identical under the current
-// pins. rescan(0, len(order)−1) is a full sweep.
+// pins. rescan(0, len(order)−1) is a full sweep. When a sweep config is set
+// (ConfigureSweep) and the window splits into at least two spans, the window
+// is scanned span-parallel; either way the term streams — and therefore the
+// re-summed counts — are bit-identical.
 func (r *Retained) rescan(lo, hi int) {
 	e := r.e
-	inst := e.inst
+	workers, numSpans := r.sweep.planSize(e.N(), hi-lo+1)
+	if workers > 1 && numSpans >= 2 && r.pool != nil {
+		r.rescanSpans(lo, hi, workers, numSpans)
+	} else {
+		r.rescanSeq(lo, hi)
+	}
+	r.stats.CandidatesAvoided += int64(len(e.order) - (hi - lo + 1))
+
+	// Re-sum all positions' terms in scan order: each addition has the same
+	// operands in the same sequence as a fresh sweep's accumulation, so the
+	// result is bit-identical.
+	for y := range r.counts {
+		r.counts[y] = 0
+	}
+	for pos := range r.terms {
+		for _, t := range r.terms[pos] {
+			r.counts[t.y] += t.v
+		}
+	}
+	r.relevant = e.RelevantRows(r.k)
+}
+
+// rescanSeq is the sequential window replay.
+func (r *Retained) rescanSeq(lo, hi int) {
+	e := r.e
 	sc := r.getScratch()
 	defer r.putScratch(sc)
 
@@ -241,58 +283,49 @@ func (r *Retained) rescan(lo, hi int) {
 	if built {
 		e.buildLeaves(sc, -1, -1)
 	}
-	for pos := lo; pos <= hi; pos++ {
-		ref := e.order[pos]
-		i, j := int(ref.row), int(ref.cand)
+	r.stats.CandidatesScanned += e.scanPositions(sc, lo, hi, zeroRows, built, r.useMC, func(pos int) *[]term {
 		r.terms[pos] = r.terms[pos][:0]
-		ch := int(e.pins[i])
-		if ch >= 0 && j != ch {
-			continue // candidate eliminated by cleaning
-		}
-		mEff := inst.M(i)
-		if ch >= 0 {
-			mEff = 1
-		}
-		sc.alpha[i]++
-		if sc.alpha[i] == 1 {
-			zeroRows--
-		}
-		if zeroRows > sc.k-1 {
-			continue // provably zero boundary support (empty term stream)
-		}
-		if !built {
-			e.buildLeaves(sc, -1, -1)
-			built = true
-		}
-		a := float64(sc.alpha[i]) / float64(mEff)
-		tr := sc.trees[e.labelOf[i]]
-		p := e.rowPos[i]
-		// Collapse the row's leaf onto the boundary (one top-K slot, 1/mEff
-		// weight on this candidate), record the supports, restore the leaf
-		// to its scanned-α state — the same force/restore pair as Counts.
-		tr.SetLeaf(p, 0, 1/float64(mEff))
-		if r.useMC {
-			e.recordMC(sc, &r.terms[pos])
-		} else {
-			r.terms[pos] = recordInto(sc, sc.rootsNormal, r.terms[pos])
-		}
-		tr.SetLeaf(p, a, 1-a)
-		r.stats.CandidatesScanned++
-	}
-	r.stats.CandidatesAvoided += int64(len(e.order) - (hi - lo + 1))
+		return &r.terms[pos]
+	})
+}
 
-	// Re-sum all positions' terms in scan order: each addition has the same
-	// operands in the same sequence as a fresh sweep's accumulation, so the
-	// result is bit-identical.
-	for y := range r.counts {
-		r.counts[y] = 0
+// rescanSpans is the span-parallel window replay: the planner's sequential
+// prefix pass snapshots α at each span start, workers re-record the spans'
+// term streams concurrently — each position's stream is written by exactly
+// one worker, since the spans partition the window — and positions before
+// the zero-rows transition just have their stale streams truncated.
+func (r *Retained) rescanSpans(lo, hi, workers, numSpans int) {
+	e := r.e
+	emitStart, spans := e.planSpans(r.k, lo, hi, numSpans)
+	for pos := lo; pos < emitStart; pos++ {
+		r.terms[pos] = r.terms[pos][:0]
 	}
-	for pos := range r.terms {
-		for _, t := range r.terms[pos] {
-			r.counts[t.y] += t.v
+	if len(spans) == 0 {
+		return
+	}
+	if len(spans) < 2 {
+		// Degenerate plan (the emitting tail is one span): scan it
+		// sequentially from the snapshot rather than spinning up workers.
+		sp := spans[0]
+		sc := r.getScratch()
+		defer r.putScratch(sc)
+		copy(sc.alpha, sp.alpha)
+		built := sp.zeroRows <= r.k-1
+		if built {
+			e.buildLeaves(sc, -1, -1)
 		}
+		r.stats.CandidatesScanned += e.scanPositions(sc, sp.lo, sp.hi, sp.zeroRows, built, r.useMC, func(pos int) *[]term {
+			r.terms[pos] = r.terms[pos][:0]
+			return &r.terms[pos]
+		})
+		return
 	}
-	r.relevant = e.RelevantRows(r.k)
+	stats, scanned := e.runSpans(spans, r.k, r.useMC, workers, r.pool, func(_, pos int) *[]term {
+		r.terms[pos] = r.terms[pos][:0]
+		return &r.terms[pos]
+	})
+	r.sweepStats.Add(stats)
+	r.stats.CandidatesScanned += scanned
 }
 
 func (r *Retained) getScratch() *Scratch {

@@ -70,22 +70,36 @@ func applyRandomPinOp(rng *rand.Rand, e *Engine) {
 // mode: across random pin/unpin/reset sequences — over generic, tied, and
 // near-zero-weight instances — Retained.Counts and Retained.Entropy must
 // equal a fresh SS-DC sweep bit for bit, for both the tally-enumeration and
-// multi-class accumulators. Well over 100 distinct pin sequences run here
-// (every trial is one sequence of 12 mutation steps).
+// multi-class accumulators. A second Retained configured for the
+// span-parallel sweep (worker counts cycling 1/2/4/8, spans forced tiny so
+// even these small instances split into many spans) runs every query in
+// lockstep and must agree bitwise too. Well over 100 distinct pin sequences
+// run here (every trial is one sequence of 12 mutation steps).
 func TestRetainedMatchesFreshSSDC(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	gens := []func(*rand.Rand, int, int, int) *Instance{randomInstance, tiedInstance, nearZeroInstance}
+	workerCounts := []int{1, 2, 4, 8}
 	sequences := 0
 	for trial := 0; trial < 120; trial++ {
 		numLabels := 2 + rng.Intn(2)
 		inst := gens[trial%len(gens)](rng, 5+rng.Intn(10), 4, numLabels)
 		k := 1 + rng.Intn(3)
 		useMC := trial%2 == 1
+		workers := workerCounts[trial%len(workerCounts)]
 		e := NewEngineFromInstance(inst)
 		rt, err := NewRetained(e, k, useMC, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
+		pool, err := NewScratchPool(e, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtPar, err := NewRetained(e, k, useMC, pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rtPar.ConfigureSweep(SweepConfig{Workers: workers, MinSpanPositions: 1})
 		sc := e.MustScratch(k)
 		sequences++
 		for step := 0; step < 12; step++ {
@@ -97,6 +111,7 @@ func TestRetainedMatchesFreshSSDC(t *testing.T) {
 				}
 			}
 			got := rt.Counts()
+			gotPar := rtPar.Counts()
 			var want []float64
 			if useMC {
 				want = e.CountsMC(sc, -1, -1)
@@ -108,14 +123,26 @@ func TestRetainedMatchesFreshSSDC(t *testing.T) {
 					t.Fatalf("trial %d step %d (mc=%v k=%d): retained[%d]=%v fresh=%v (gen %d, stats %+v)",
 						trial, step, useMC, k, y, got[y], want[y], e.PinGeneration(), rt.Stats())
 				}
+				if gotPar[y] != want[y] {
+					t.Fatalf("trial %d step %d (mc=%v k=%d workers=%d): parallel retained[%d]=%v fresh=%v (sweep %+v)",
+						trial, step, useMC, k, workers, y, gotPar[y], want[y], rtPar.SweepStats())
+				}
 			}
 			if gotH, wantH := rt.Entropy(), Entropy(want); gotH != wantH {
 				t.Fatalf("trial %d step %d: retained entropy %v fresh %v", trial, step, gotH, wantH)
+			}
+			if gotH, wantH := rtPar.Entropy(), Entropy(want); gotH != wantH {
+				t.Fatalf("trial %d step %d (workers=%d): parallel retained entropy %v fresh %v", trial, step, workers, gotH, wantH)
 			}
 			wantRel := e.RelevantRows(k)
 			for i, rel := range rt.Relevant() {
 				if rel != wantRel[i] {
 					t.Fatalf("trial %d step %d: retained relevance[%d]=%v fresh=%v", trial, step, i, rel, wantRel[i])
+				}
+			}
+			for i, rel := range rtPar.Relevant() {
+				if rel != wantRel[i] {
+					t.Fatalf("trial %d step %d: parallel retained relevance[%d]=%v fresh=%v", trial, step, i, rel, wantRel[i])
 				}
 			}
 		}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the span-parallel SS-DC sweep: the boundary-candidate
+// scan of Engine.Counts / Engine.CountsMC split into contiguous spans that
+// run on worker goroutines, with the answer re-summed in original scan order
+// so it is bit-for-bit identical to the sequential sweep.
+//
+// Why this is exact: the scan's only cross-position state is the α vector
+// (candidates of each row already passed) and the segment trees derived from
+// it. A cheap sequential prefix pass — pure integer work, no tree updates —
+// replays the α trajectory and snapshots it at each span start; a span worker
+// bulk-rebuilds its trees from the snapshot, which the segment tree's purity
+// invariant (internal/segtree) guarantees reproduces exactly the node values
+// a sequential scan would carry into that position. Each position's support
+// contributions are captured as an ordered term stream (recordInto/recordMC)
+// instead of being added into a shared accumulator, and the reducer re-adds
+// every term in scan order — the same operands in the same sequence as the
+// sequential sweep, hence the same floats. TestSweepCountsMatchesSequential
+// and the extended TestRetainedMatchesFreshSSDC harness pin the property
+// across worker counts, accumulators, ties, and near-zero weights.
+
+// DefaultMinSpanPositions is the smallest span the planner will create when
+// SweepConfig.MinSpanPositions is zero (spans also never shrink below N/4 in
+// that case — each span pays an O(N·K²) tree rebuild, so spans much shorter
+// than N would spend more time rebuilding than scanning).
+const DefaultMinSpanPositions = 256
+
+// spansPerWorker oversubscribes spans relative to workers so a worker that
+// drew a cheap span can steal another instead of idling at the barrier.
+const spansPerWorker = 2
+
+// SweepConfig tunes the span-parallel sweep. The zero value means fully
+// sequential.
+type SweepConfig struct {
+	// Workers is the number of span workers; values ≤ 1 select the
+	// sequential scan.
+	Workers int
+	// MinSpanPositions floors the span length. 0 applies
+	// DefaultMinSpanPositions (and an N/4 floor); tests force tiny spans
+	// with 1 to exercise multi-span plans on small instances.
+	MinSpanPositions int
+}
+
+// SweepStats counts span-parallel sweep executions. All fields are
+// monotonically increasing totals.
+type SweepStats struct {
+	// ParallelSweeps counts scans that actually ran the span-parallel path
+	// (plans with ≥ 2 spans and ≥ 2 workers).
+	ParallelSweeps int64 `json:"parallel_sweeps"`
+	// Spans counts spans executed across all parallel sweeps.
+	Spans int64 `json:"spans"`
+	// Steals counts spans executed by a worker other than the one the plan's
+	// round-robin assignment would have given them to — work that migrated to
+	// keep every worker busy.
+	Steals int64 `json:"steals"`
+}
+
+// Add accumulates other into s.
+func (s *SweepStats) Add(other SweepStats) {
+	s.ParallelSweeps += other.ParallelSweeps
+	s.Spans += other.Spans
+	s.Steals += other.Steals
+}
+
+// spanFloor resolves the effective minimum span length for an N-row engine.
+func (cfg SweepConfig) spanFloor(n int) int {
+	if cfg.MinSpanPositions > 0 {
+		return cfg.MinSpanPositions
+	}
+	floor := DefaultMinSpanPositions
+	if nf := n / 4; nf > floor {
+		floor = nf
+	}
+	return floor
+}
+
+// planSize sizes a plan for a window of `window` scan positions: the worker
+// count actually usable and the span count. numSpans < 2 means the window is
+// too small to be worth splitting — run sequentially.
+func (cfg SweepConfig) planSize(n, window int) (workers, numSpans int) {
+	workers = cfg.Workers
+	if workers <= 1 {
+		return workers, 1
+	}
+	numSpans = workers * spansPerWorker
+	if maxSpans := window / cfg.spanFloor(n); numSpans > maxSpans {
+		numSpans = maxSpans
+	}
+	return workers, numSpans
+}
+
+// sweepSpan is one contiguous run of scan positions plus the α state a
+// sequential scan would carry into its first position.
+type sweepSpan struct {
+	lo, hi   int     // inclusive scan-position range
+	zeroRows int     // rows with α = 0 entering lo
+	alpha    []int32 // α snapshot entering lo (length N)
+}
+
+// planSpans runs the sequential prefix pass for a scan of window [lo, hi]
+// under the engine's current pins: it replays the α trajectory from position
+// 0, finds the zero-rows transition — the first position in the window whose
+// boundary support is not provably zero — and splits the emitting tail
+// [emitStart, hi] into up to numSpans spans, snapshotting α at each span
+// start. Positions in [lo, emitStart) provably contribute no terms (while
+// more than K−1 rows still have all their candidates ahead of the boundary,
+// the boundary can never be in the top-K); callers only need to clear any
+// retained terms there. Pure integer work: O(hi) α updates plus
+// O(numSpans·N) snapshot copies, no tree operations.
+func (e *Engine) planSpans(k, lo, hi, numSpans int) (emitStart int, spans []sweepSpan) {
+	alpha := make([]int32, e.N())
+	zeroRows := e.N()
+	advance := func(pos int) {
+		ref := e.order[pos]
+		i := int(ref.row)
+		if ch := int(e.pins[i]); ch >= 0 && int(ref.cand) != ch {
+			return
+		}
+		alpha[i]++
+		if alpha[i] == 1 {
+			zeroRows--
+		}
+	}
+	for pos := 0; pos < lo; pos++ {
+		advance(pos)
+	}
+	// Find the transition without consuming it: a position emits iff after
+	// its own α increment zeroRows ≤ K−1, and zeroRows is monotone
+	// non-increasing, so the first such position starts the emitting tail.
+	pos := lo
+	for ; pos <= hi; pos++ {
+		if zeroRows <= k-1 {
+			break
+		}
+		ref := e.order[pos]
+		i := int(ref.row)
+		ch := int(e.pins[i])
+		valid := ch < 0 || int(ref.cand) == ch
+		if valid && alpha[i] == 0 && zeroRows-1 <= k-1 {
+			break // this position's own increment crosses the threshold
+		}
+		advance(pos)
+	}
+	emitStart = pos
+	window := hi - emitStart + 1
+	if window <= 0 {
+		return emitStart, nil
+	}
+	if numSpans > window {
+		numSpans = window
+	}
+	if numSpans < 1 {
+		numSpans = 1
+	}
+	spanLen := (window + numSpans - 1) / numSpans
+	for pos := emitStart; pos <= hi; pos++ {
+		if (pos-emitStart)%spanLen == 0 {
+			end := pos + spanLen - 1
+			if end > hi {
+				end = hi
+			}
+			spans = append(spans, sweepSpan{
+				lo:       pos,
+				hi:       end,
+				zeroRows: zeroRows,
+				alpha:    append([]int32(nil), alpha...),
+			})
+		}
+		advance(pos)
+	}
+	return emitStart, spans
+}
+
+// scanPositions replays scan positions [lo, hi] with real tree work under the
+// engine's current pins, appending each position's support terms to
+// *rec(pos). rec is invoked for every position in the range — including
+// eliminated candidates and provably-zero prefixes, which append nothing — so
+// recorders that retain per-position streams can truncate stale state.
+//
+// Preconditions: sc.alpha holds the α state a sequential scan carries into
+// position lo, zeroRows counts its zero rows, and built reports whether sc's
+// trees already reflect sc.alpha (when false they are bulk-built at the
+// transition, exactly as Engine.Counts does). Returns the number of positions
+// that performed tree work.
+func (e *Engine) scanPositions(sc *Scratch, lo, hi, zeroRows int, built, useMC bool, rec func(pos int) *[]term) int64 {
+	inst := e.inst
+	var scanned int64
+	for pos := lo; pos <= hi; pos++ {
+		ref := e.order[pos]
+		i, j := int(ref.row), int(ref.cand)
+		buf := rec(pos)
+		ch := int(e.pins[i])
+		if ch >= 0 && j != ch {
+			continue // candidate eliminated by cleaning
+		}
+		mEff := inst.M(i)
+		if ch >= 0 {
+			mEff = 1
+		}
+		sc.alpha[i]++
+		if sc.alpha[i] == 1 {
+			zeroRows--
+		}
+		if zeroRows > sc.k-1 {
+			continue // provably zero boundary support (empty term stream)
+		}
+		if !built {
+			e.buildLeaves(sc, -1, -1)
+			built = true
+		}
+		a := float64(sc.alpha[i]) / float64(mEff)
+		tr := sc.trees[e.labelOf[i]]
+		p := e.rowPos[i]
+		// Collapse the row's leaf onto the boundary (one top-K slot, 1/mEff
+		// weight on this candidate), record the supports, restore the leaf to
+		// its scanned-α state — the same force/restore pair as Counts.
+		tr.SetLeaf(p, 0, 1/float64(mEff))
+		if useMC {
+			e.recordMC(sc, buf)
+		} else {
+			*buf = recordInto(sc, sc.rootsNormal, *buf)
+		}
+		tr.SetLeaf(p, a, 1-a)
+		scanned++
+	}
+	return scanned
+}
+
+// runSpans executes the planned spans across worker goroutines. Workers pull
+// span indices from a shared counter — span s "belongs" to worker s mod
+// workers, and a pull by any other worker counts as a steal — and each holds
+// one pooled Scratch for all the spans it runs, rebuilding tree state from
+// the span's α snapshot before scanning. rec must route concurrent appends
+// to storage that is disjoint per (span, position); the spans partition the
+// position range, so per-position or per-span buffers both qualify. Returns
+// the sweep counters and the total positions that performed tree work.
+func (e *Engine) runSpans(spans []sweepSpan, k int, useMC bool, workers int, scratches *ScratchPool, rec func(span, pos int) *[]term) (SweepStats, int64) {
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	var nextSpan, steals, scanned atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := scratches.Get()
+			defer scratches.Put(sc)
+			for {
+				s := int(nextSpan.Add(1)) - 1
+				if s >= len(spans) {
+					return
+				}
+				if s%workers != w {
+					steals.Add(1)
+				}
+				sp := spans[s]
+				copy(sc.alpha, sp.alpha)
+				built := sp.zeroRows <= k-1
+				if built {
+					e.buildLeaves(sc, -1, -1)
+				}
+				n := e.scanPositions(sc, sp.lo, sp.hi, sp.zeroRows, built, useMC, func(pos int) *[]term {
+					return rec(s, pos)
+				})
+				scanned.Add(n)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return SweepStats{ParallelSweeps: 1, Spans: int64(len(spans)), Steals: steals.Load()}, scanned.Load()
+}
+
+// SweepCounts answers Q2 under the engine's current pins with the
+// span-parallel sweep, returning a freshly allocated fraction slice that is
+// bit-for-bit identical to Engine.Counts (useMC false) or Engine.CountsMC
+// (useMC true). scratches lends each worker its scan state and must match
+// the engine's shape and K. When cfg requests no parallelism — or the scan is
+// too small to split profitably — it falls back to the sequential sweep
+// (stats all zero).
+func (e *Engine) SweepCounts(k int, useMC bool, cfg SweepConfig, scratches *ScratchPool) ([]float64, SweepStats, error) {
+	if err := validateK(e.inst, k); err != nil {
+		return nil, SweepStats{}, err
+	}
+	if scratches != nil && scratches.K() != k {
+		return nil, SweepStats{}, fmt.Errorf("core: sweep K=%d but scratch pool K=%d", k, scratches.K())
+	}
+	counts := make([]float64, e.numLabels)
+	total := len(e.order)
+	workers, numSpans := cfg.planSize(e.N(), total)
+	if workers <= 1 || numSpans < 2 || scratches == nil {
+		var sc *Scratch
+		if scratches != nil {
+			sc = scratches.Get()
+			defer scratches.Put(sc)
+		} else {
+			sc = newScratchFromShape(e.shape(), k)
+		}
+		if useMC {
+			copy(counts, e.CountsMC(sc, -1, -1))
+		} else {
+			copy(counts, e.Counts(sc, -1, -1))
+		}
+		return counts, SweepStats{}, nil
+	}
+	_, spans := e.planSpans(k, 0, total-1, numSpans)
+	if len(spans) < 2 {
+		// The emitting tail collapsed below two spans (late zero-rows
+		// transition): sequential is both simpler and faster.
+		sc := scratches.Get()
+		defer scratches.Put(sc)
+		if useMC {
+			copy(counts, e.CountsMC(sc, -1, -1))
+		} else {
+			copy(counts, e.Counts(sc, -1, -1))
+		}
+		return counts, SweepStats{}, nil
+	}
+	// Each span records into its own flat term stream; appends within a span
+	// are already in scan order, so the reducer just walks spans in order.
+	spanTerms := make([][]term, len(spans))
+	stats, _ := e.runSpans(spans, k, useMC, workers, scratches, func(s, _ int) *[]term {
+		return &spanTerms[s]
+	})
+	for _, ts := range spanTerms {
+		for _, t := range ts {
+			counts[t.y] += t.v
+		}
+	}
+	return counts, stats, nil
+}

@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 )
@@ -41,6 +40,41 @@ type BatchResult struct {
 	CertainFraction float64 `json:"certain_fraction"`
 }
 
+// BatchSummary is the per-batch aggregate a streaming query reports after its
+// last point — the NDJSON trailer line's payload.
+type BatchSummary struct {
+	K int `json:"k"`
+	// Points is the number of points answered.
+	Points int `json:"points"`
+	// CertainFraction is the fraction of CP'ed points in the batch.
+	CertainFraction float64 `json:"certain_fraction"`
+}
+
+// splitParallelism budgets Config.Parallelism between the batch fan-out and
+// each point's intra-sweep span workers so the two never multiply: a
+// saturated fan-out leaves sweeps sequential, while a batch smaller than the
+// budget hands the idle share to span parallelism (a single-point batch gets
+// the full SweepWorkers). Both returns are ≥ 1.
+func splitParallelism(cfg Config, points int) (batchWorkers, sweepWorkers int) {
+	batchWorkers = cfg.Parallelism
+	if batchWorkers > points {
+		batchWorkers = points
+	}
+	if batchWorkers < 1 {
+		batchWorkers = 1
+	}
+	sweepWorkers = cfg.SweepWorkers
+	if sweepWorkers > 1 {
+		if budget := cfg.Parallelism / batchWorkers; sweepWorkers > budget {
+			sweepWorkers = budget
+		}
+	}
+	if sweepWorkers < 1 {
+		sweepWorkers = 1
+	}
+	return batchWorkers, sweepWorkers
+}
+
 // BatchQuery answers Q1/Q2/entropy for every point of the request against
 // the named dataset, fanning the points out across the server's worker
 // budget. Engines come from the per-dataset LRU, Scratches from the shared
@@ -57,97 +91,79 @@ func (s *Server) BatchQuery(ctx context.Context, name string, req BatchRequest) 
 	return ds.BatchQuery(ctx, req, s.cfg)
 }
 
-// BatchQuery is the dataset-level batch entry point.
+// StreamBatchQuery is BatchQuery with the results delivered through yield in
+// request order as they complete, instead of buffered — the engine behind
+// the NDJSON batch mode. A yield error aborts the batch and is returned.
+func (s *Server) StreamBatchQuery(ctx context.Context, name string, req BatchRequest, yield func(i int, r PointResult) error) (BatchSummary, error) {
+	ds, err := s.Dataset(name)
+	if err != nil {
+		return BatchSummary{}, err
+	}
+	return ds.StreamBatchQuery(ctx, req, s.cfg, yield)
+}
+
+// BatchQuery is the dataset-level batch entry point: the streaming pipeline
+// with a buffer as its sink.
 func (d *Dataset) BatchQuery(ctx context.Context, req BatchRequest, cfg Config) (*BatchResult, error) {
+	res := &BatchResult{Results: make([]PointResult, len(req.Points))}
+	sum, err := d.StreamBatchQuery(ctx, req, cfg, func(i int, r PointResult) error {
+		res.Results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.K, res.CertainFraction = sum.K, sum.CertainFraction
+	return res, nil
+}
+
+// StreamBatchQuery answers the request point by point, invoking yield in
+// request order as results complete (runOrdered's reorder buffer over the
+// worker fan-out). On a query error the lowest failing point index's error
+// is returned — deterministically, regardless of worker scheduling.
+func (d *Dataset) StreamBatchQuery(ctx context.Context, req BatchRequest, cfg Config, yield func(i int, r PointResult) error) (BatchSummary, error) {
 	cfg = cfg.withDefaults()
 	k, err := d.resolveK(req.K)
 	if err != nil {
-		return nil, err
+		return BatchSummary{}, err
 	}
 	dim := d.dim()
 	for i, t := range req.Points {
 		if len(t) != dim {
-			return nil, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
+			return BatchSummary{}, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
 		}
 	}
 	pool := d.pool(k, cfg)
-	res := &BatchResult{K: k, Results: make([]PointResult, len(req.Points))}
-	workers := cfg.Parallelism
-	if workers > len(req.Points) {
-		workers = len(req.Points)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var sc *core.Scratch
-			var scratches *core.ScratchPool
-			defer func() {
-				if sc != nil {
-					scratches.Put(sc)
-				}
-			}()
-			for i := range work {
-				if errs[w] != nil || ctx.Err() != nil {
-					continue // keep draining so senders never block
-				}
-				e, ent := pool.engine(req.Points[i])
-				var r PointResult
-				var qerr error
-				if ent != nil {
-					r, qerr = pool.queryEntry(ent, k, req.UseMC)
-				} else {
-					if sc == nil {
-						scratches = pool.scratchesFor(e)
-						sc = scratches.Get()
-					}
-					r, qerr = queryEngine(e, sc, k, req.UseMC)
-				}
-				if qerr != nil {
-					errs[w] = qerr
-					continue
-				}
-				res.Results[i] = r
-			}
-		}(w)
-	}
-feed:
-	for i := range req.Points {
-		select {
-		case work <- i:
-		case <-ctx.Done():
-			break feed // client gone: stop handing out points
-		}
-	}
-	close(work)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		// Partial results are discarded: the caller disconnected, nobody is
-		// left to read them. The wrapped context error lets the HTTP layer
-		// answer with 499-style closed-connection handling.
-		return nil, fmt.Errorf("serve: batch query abandoned: %w", err)
-	}
-	for _, werr := range errs {
-		if werr != nil {
-			return nil, werr
-		}
-	}
+	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
 	certain := 0
-	for _, r := range res.Results {
-		if r.Certain {
-			certain++
+	err = runOrdered(ctx, len(req.Points), batchWorkers,
+		func(i int) (PointResult, error) {
+			e, ent := pool.engine(req.Points[i])
+			if ent != nil {
+				return pool.queryEntry(ent, k, req.UseMC, sweepWorkers)
+			}
+			return pool.querySweep(e, k, req.UseMC, sweepWorkers)
+		},
+		func(i int, r PointResult) error {
+			if r.Certain {
+				certain++
+			}
+			return yield(i, r)
+		})
+	if err != nil {
+		if ctx.Err() != nil {
+			// Partial results are abandoned: the caller disconnected, nobody
+			// is left to read them. The wrapped context error lets the HTTP
+			// layer answer with 499-style closed-connection handling.
+			return BatchSummary{}, fmt.Errorf("serve: batch query abandoned: %w", ctx.Err())
 		}
+		return BatchSummary{}, err
 	}
-	if len(res.Results) > 0 {
-		res.CertainFraction = float64(certain) / float64(len(res.Results))
+	sum := BatchSummary{K: k, Points: len(req.Points)}
+	if len(req.Points) > 0 {
+		sum.CertainFraction = float64(certain) / float64(len(req.Points))
 	}
-	return res, nil
+	return sum, nil
 }
 
 // queryEngine answers both CP queries for one engine with the caller's
@@ -187,9 +203,12 @@ func assemblePointResult(e *core.Engine, k int, fractions []float64) (PointResul
 	return r, nil
 }
 
-// dim returns the feature dimension of the dataset.
+// dim returns the feature dimension of the dataset. Registration rejects
+// rows with empty candidate sets, so the indexing below is safe for any
+// registered dataset; the guards keep a hand-built zero-row or zero-candidate
+// value from panicking regardless.
 func (d *Dataset) dim() int {
-	if d.data.N() == 0 {
+	if d.data.N() == 0 || d.data.Examples[0].M() == 0 {
 		return 0
 	}
 	return len(d.data.Examples[0].Candidates[0])

@@ -143,8 +143,9 @@ func (s *Server) buildCleanSession(ds *Dataset, k int, req CleanRequest) (*Clean
 		return nil, err
 	}
 	sel, err := selection.New(c.engines, c.certain, c.scratches, selection.Config{
-		K:           k,
-		Parallelism: cfg.Parallelism,
+		K:            k,
+		Parallelism:  cfg.Parallelism,
+		SweepWorkers: cfg.SweepWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -133,12 +134,15 @@ func decodeStatus(err error) int {
 //	POST   /v1/datasets                 register a dataset
 //	GET    /v1/datasets                 list registered names
 //	GET    /v1/datasets/{name}          dataset info + serving stats
-//	POST   /v1/datasets/{name}/query    batch CP query (BatchRequest → BatchResult)
+//	POST   /v1/datasets/{name}/query    batch CP query (BatchRequest → BatchResult;
+//	                                    Accept: application/x-ndjson streams one
+//	                                    result line per point in request order)
 //	POST   /v1/datasets/{name}/clean    create a CPClean session → 201 SessionStatus
 //	GET    /v1/clean/{id}               session status
 //	POST   /v1/clean/{id}/next?steps=N  execute up to N steps (resumable pull)
 //	GET    /v1/clean/{id}/stream?from=K replay steps after K, then stream live NDJSON
 //	POST   /v1/clean/{id}/query         batch CP query under the session's pins
+//	                                    (same NDJSON streaming via Accept)
 //	DELETE /v1/clean/{id}               release the session
 //	GET    /v1/stats                    server-wide serving + WAL statistics
 //
@@ -193,7 +197,14 @@ func Handler(s *Server) http.Handler {
 		if !decodeJSON(w, r, s.cfg.MaxQueryBytes, &req) {
 			return
 		}
-		res, err := s.BatchQuery(r.Context(), r.PathValue("name"), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
+		breq := BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC}
+		if wantsNDJSON(r) {
+			streamBatchNDJSON(w, func(yield func(int, PointResult) error) (BatchSummary, error) {
+				return s.StreamBatchQuery(r.Context(), r.PathValue("name"), breq, yield)
+			})
+			return
+		}
+		res, err := s.BatchQuery(r.Context(), r.PathValue("name"), breq)
 		if err != nil {
 			// A canceled request context means the client disconnected
 			// mid-batch; the fan-out already stopped and freed its workers.
@@ -240,7 +251,14 @@ func Handler(s *Server) http.Handler {
 		}
 		// Answers reflect the session's current cleaning state (every executed
 		// step applied as a pin); repeats reuse the per-point retained trees.
-		res, err := sess.Query(r.Context(), BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC})
+		breq := BatchRequest{Points: req.Points, K: req.K, UseMC: req.UseMC}
+		if wantsNDJSON(r) {
+			streamBatchNDJSON(w, func(yield func(int, PointResult) error) (BatchSummary, error) {
+				return sess.StreamQuery(r.Context(), breq, yield)
+			})
+			return
+		}
+		res, err := sess.Query(r.Context(), breq)
 		if err != nil {
 			httpError(w, errStatus(err), err)
 			return
@@ -365,6 +383,65 @@ func Handler(s *Server) http.Handler {
 			return
 		}
 		mux.ServeHTTP(w, r)
+	})
+}
+
+// wantsNDJSON reports whether the request opted into the streaming batch
+// encoding.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// streamPointLine is one NDJSON result line: the point's index in the
+// request plus its full PointResult fields, inlined.
+type streamPointLine struct {
+	Index int `json:"index"`
+	PointResult
+}
+
+// streamBatchNDJSON answers a batch query as NDJSON: one result line per
+// point, written and flushed in request order the moment the point (and all
+// earlier ones) completes — so first-result latency tracks the fastest
+// point, not the whole batch — then one trailer line with the summary
+// ("done": true, k, points, certain_fraction). Errors before the first line
+// still get a proper status code; a mid-stream error is reported as a final
+// {"error": ...} line, mirroring the clean-stream protocol.
+func streamBatchNDJSON(w http.ResponseWriter, run func(yield func(int, PointResult) error) (BatchSummary, error)) {
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	headerWritten := false
+	writeLine := func(v interface{}) error {
+		if !headerWritten {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			headerWritten = true
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	sum, err := run(func(i int, r PointResult) error {
+		return writeLine(streamPointLine{Index: i, PointResult: r})
+	})
+	if err != nil {
+		if !headerWritten {
+			httpError(w, errStatus(err), err)
+			return
+		}
+		// The stream is already 200; a trailer line is the only error channel
+		// left (and if the write itself failed, the client is gone anyway).
+		_ = writeLine(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = writeLine(map[string]interface{}{
+		"done":             true,
+		"k":                sum.K,
+		"points":           sum.Points,
+		"certain_fraction": sum.CertainFraction,
 	})
 }
 

@@ -34,6 +34,12 @@ type enginePool struct {
 	builds    atomic.Int64 // engines constructed
 	hits      atomic.Int64 // cache hits
 	evictions atomic.Int64 // entries dropped by either budget
+
+	// Span-parallel sweep counters for the memo-less path (querySweep);
+	// retained entries keep their own and are aggregated at Stats time.
+	sweepPar    atomic.Int64
+	sweepSpans  atomic.Int64
+	sweepSteals atomic.Int64
 }
 
 // engineEntry is one cached (test point → engine) binding plus its
@@ -156,10 +162,12 @@ func (p *enginePool) reaccount(ent *engineEntry, newBytes int64) {
 // outright, and a post-pin refresh recomputes Q2 through core.Retained's
 // delta path instead of a full SS-DC sweep. Falls back to a plain sweep when
 // the memo is disabled or the request's UseMC flips modes mid-entry.
-func (p *enginePool) queryEntry(ent *engineEntry, k int, useMC bool) (PointResult, error) {
+// sweepWorkers > 1 runs any full rescan span-parallel (bit-identical either
+// way); it is the caller's already-budgeted share of Config.Parallelism.
+func (p *enginePool) queryEntry(ent *engineEntry, k int, useMC bool, sweepWorkers int) (PointResult, error) {
 	e := ent.engine
 	if p.noMemo {
-		return p.queryPlain(e, k, useMC)
+		return p.querySweep(e, k, useMC, sweepWorkers)
 	}
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
@@ -174,7 +182,7 @@ func (p *enginePool) queryEntry(ent *engineEntry, k int, useMC bool) (PointResul
 	if ent.retained != nil && ent.retained.UseMC() != useMC {
 		// Mode flip on a warm entry: answer plainly rather than thrash the
 		// retained state between accumulators.
-		return p.queryPlain(e, k, useMC)
+		return p.querySweep(e, k, useMC, sweepWorkers)
 	}
 	if ent.retained == nil {
 		rt, err := core.NewRetained(e, k, useMC, p.scratchesFor(e))
@@ -183,6 +191,7 @@ func (p *enginePool) queryEntry(ent *engineEntry, k int, useMC bool) (PointResul
 		}
 		ent.retained = rt
 	}
+	ent.retained.ConfigureSweep(core.SweepConfig{Workers: sweepWorkers})
 	counts := ent.retained.Counts()
 	r, err := assemblePointResult(e, k, append([]float64(nil), counts...))
 	if err != nil {
@@ -199,6 +208,22 @@ func (p *enginePool) queryPlain(e *core.Engine, k int, useMC bool) (PointResult,
 	sc := scratches.Get()
 	defer scratches.Put(sc)
 	return queryEngine(e, sc, k, useMC)
+}
+
+// querySweep is queryPlain with the span-parallel sweep when the caller's
+// parallelism budget allows it, folding the run's counters into the pool.
+func (p *enginePool) querySweep(e *core.Engine, k int, useMC bool, sweepWorkers int) (PointResult, error) {
+	if sweepWorkers <= 1 {
+		return p.queryPlain(e, k, useMC)
+	}
+	counts, stats, err := e.SweepCounts(k, useMC, core.SweepConfig{Workers: sweepWorkers}, p.scratchesFor(e))
+	if err != nil {
+		return PointResult{}, err
+	}
+	p.sweepPar.Add(stats.ParallelSweeps)
+	p.sweepSpans.Add(stats.Spans)
+	p.sweepSteals.Add(stats.Steals)
+	return assemblePointResult(e, k, counts)
 }
 
 // scratchesFor returns the shared Scratch free list, creating it on first
@@ -231,9 +256,12 @@ type PoolStats struct {
 	Evictions   int64 `json:"evictions"`
 	// Retained aggregates the retained-tree query-memo counters over the
 	// currently cached entries (evicted entries take their counts with them).
-	Retained      core.RetainedStats `json:"retained"`
-	ScratchGets   int64              `json:"scratch_gets"`
-	ScratchAllocs int64              `json:"scratch_allocs"`
+	Retained core.RetainedStats `json:"retained"`
+	// Sweep aggregates the span-parallel sweep counters: the pool's memo-less
+	// sweeps plus the cached entries' retained rescans.
+	Sweep         core.SweepStats `json:"sweep"`
+	ScratchGets   int64           `json:"scratch_gets"`
+	ScratchAllocs int64           `json:"scratch_allocs"`
 }
 
 // Stats snapshots every pool of the dataset, ordered by K.
@@ -251,6 +279,11 @@ func (d *Dataset) Stats() []PoolStats {
 			EngineBuilds: p.builds.Load(),
 			EngineHits:   p.hits.Load(),
 			Evictions:    p.evictions.Load(),
+			Sweep: core.SweepStats{
+				ParallelSweeps: p.sweepPar.Load(),
+				Spans:          p.sweepSpans.Load(),
+				Steals:         p.sweepSteals.Load(),
+			},
 		}
 		p.mu.Lock()
 		st.EnginesCached = p.lru.Len()
@@ -265,6 +298,7 @@ func (d *Dataset) Stats() []PoolStats {
 			ent.mu.Lock()
 			if ent.retained != nil {
 				st.Retained.Add(ent.retained.Stats())
+				st.Sweep.Add(ent.retained.SweepStats())
 			}
 			ent.mu.Unlock()
 		}

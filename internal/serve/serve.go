@@ -64,6 +64,14 @@ var ErrPersist = errors.New("serve: persistence failure")
 type Config struct {
 	// Parallelism bounds worker goroutines per batch request (0 = GOMAXPROCS).
 	Parallelism int
+	// SweepWorkers enables the span-parallel SS-DC sweep inside a single
+	// point's Q2 scan with up to this many workers (0 or 1 = sequential
+	// sweeps, the default). The effective per-point worker count is budgeted
+	// against Parallelism: batch fan-out and span workers share the one
+	// budget, so a saturated batch runs sequential sweeps while a
+	// single-point query gets the full count. Answers are bit-for-bit
+	// identical either way.
+	SweepWorkers int
 	// EngineCacheSize is the per-(dataset, K) LRU capacity for test-point
 	// engines (0 = DefaultEngineCacheSize, negative = disable caching).
 	EngineCacheSize int
@@ -313,6 +321,15 @@ func (s *Server) Register(name string, d *dataset.Incomplete, kernel knn.Kernel,
 	}
 	if d.N() == 0 {
 		return nil, fmt.Errorf("serve: cannot register an empty dataset")
+	}
+	// A row with no candidates has no possible worlds — and would panic the
+	// feature-dimension probe (Dataset.dim) and every scan over it. dataset
+	// decoders reject this shape already; hand-built values get a clean
+	// 400-mapped error here instead of a panic at first query.
+	for i := range d.Examples {
+		if d.Examples[i].M() == 0 {
+			return nil, fmt.Errorf("serve: example %d has no candidates", i)
+		}
 	}
 	if k <= 0 {
 		// The default K must stay valid on tiny datasets: clamp to min(3, N)

@@ -37,28 +37,33 @@ type sessionQueryCache struct {
 	bytes int64 // Σ accounted bytes of cached entries
 
 	// Lifetime counters, surviving entry eviction. queries counts points
-	// answered; the rest mirror core.RetainedStats.
-	queries    atomic.Int64
-	fullScans  atomic.Int64
-	memoHits   atomic.Int64
-	deltaScans atomic.Int64
-	scanned    atomic.Int64
-	avoided    atomic.Int64
+	// answered; the rest mirror core.RetainedStats / core.SweepStats.
+	queries     atomic.Int64
+	fullScans   atomic.Int64
+	memoHits    atomic.Int64
+	deltaScans  atomic.Int64
+	scanned     atomic.Int64
+	avoided     atomic.Int64
+	sweepPar    atomic.Int64
+	sweepSpans  atomic.Int64
+	sweepSteals atomic.Int64
 }
 
 // squeryEntry is one (K, point) pinned engine + retained memo. mu serializes
-// use; last holds the retained stats already folded into the cache counters.
+// use; last/lastSweep hold the retained stats already folded into the cache
+// counters.
 type squeryEntry struct {
 	key   string
 	k     int
 	pt    []float64
 	bytes int64 // accounted engine+retained bytes; updated under cache.mu
 
-	mu       sync.Mutex
-	engine   *core.Engine
-	retained *core.Retained
-	applied  int // session history steps applied as pins
-	last     core.RetainedStats
+	mu        sync.Mutex
+	engine    *core.Engine
+	retained  *core.Retained
+	applied   int // session history steps applied as pins
+	last      core.RetainedStats
+	lastSweep core.SweepStats
 }
 
 func newSessionQueryCache(ds *Dataset, cfg Config) *sessionQueryCache {
@@ -87,6 +92,9 @@ type SessionQueryStats struct {
 	// memo verbatim, from a windowed delta replay, or from a full sweep, and
 	// the boundary-candidate scans performed versus avoided.
 	Retained core.RetainedStats `json:"retained"`
+	// Sweep aggregates the span-parallel sweep counters of the session's
+	// rescans.
+	Sweep core.SweepStats `json:"sweep"`
 }
 
 func (q *sessionQueryCache) statsSnapshot() SessionQueryStats {
@@ -98,6 +106,11 @@ func (q *sessionQueryCache) statsSnapshot() SessionQueryStats {
 			DeltaScans:        q.deltaScans.Load(),
 			CandidatesScanned: q.scanned.Load(),
 			CandidatesAvoided: q.avoided.Load(),
+		},
+		Sweep: core.SweepStats{
+			ParallelSweeps: q.sweepPar.Load(),
+			Spans:          q.sweepSpans.Load(),
+			Steals:         q.sweepSteals.Load(),
 		},
 	}
 }
@@ -146,7 +159,8 @@ func (q *sessionQueryCache) reaccount(ent *squeryEntry, newBytes int64) {
 // queryPoint answers one point under the pins of hist (the session's
 // executed steps): the cached engine is caught up on any steps it has not
 // seen, then the retained memo answers — O(1) when nothing relevant changed.
-func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC bool) (PointResult, error) {
+// sweepWorkers > 1 runs any full rescan span-parallel (bit-identical).
+func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC bool, sweepWorkers int) (PointResult, error) {
 	ent.mu.Lock()
 	defer ent.mu.Unlock()
 	if ent.engine == nil {
@@ -179,6 +193,7 @@ func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC
 		// so the scan counters stay comparable.
 		ent.retained.Invalidate()
 	}
+	ent.retained.ConfigureSweep(core.SweepConfig{Workers: sweepWorkers})
 	counts := ent.retained.Counts()
 	r, err := assemblePointResult(ent.engine, ent.k, append([]float64(nil), counts...))
 	q.queries.Add(1)
@@ -189,6 +204,11 @@ func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC
 	q.scanned.Add(s.CandidatesScanned - ent.last.CandidatesScanned)
 	q.avoided.Add(s.CandidatesAvoided - ent.last.CandidatesAvoided)
 	ent.last = s
+	sw := ent.retained.SweepStats()
+	q.sweepPar.Add(sw.ParallelSweeps - ent.lastSweep.ParallelSweeps)
+	q.sweepSpans.Add(sw.Spans - ent.lastSweep.Spans)
+	q.sweepSteals.Add(sw.Steals - ent.lastSweep.Steals)
+	ent.lastSweep = sw
 	q.reaccount(ent, ent.engine.ApproxBytes()+ent.retained.ApproxBytes())
 	return r, err
 }
@@ -201,10 +221,27 @@ func (q *sessionQueryCache) queryPoint(ent *squeryEntry, hist []CleanStep, useMC
 // state across pins (see sessionQueryCache). Canceling ctx abandons the
 // remaining points, as in Server.BatchQuery.
 func (sess *Session) Query(ctx context.Context, req BatchRequest) (*BatchResult, error) {
+	res := &BatchResult{Results: make([]PointResult, len(req.Points))}
+	sum, err := sess.StreamQuery(ctx, req, func(i int, r PointResult) error {
+		res.Results[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.K, res.CertainFraction = sum.K, sum.CertainFraction
+	return res, nil
+}
+
+// StreamQuery is Query with the results delivered through yield in request
+// order as they complete — the session-side engine of the NDJSON batch mode,
+// with the same ordered fan-out and lowest-index error determinism as
+// Dataset.StreamBatchQuery.
+func (sess *Session) StreamQuery(ctx context.Context, req BatchRequest, yield func(i int, r PointResult) error) (BatchSummary, error) {
 	sess.mu.Lock()
 	if sess.closed {
 		sess.mu.Unlock()
-		return nil, fmt.Errorf("%w: clean session %q", ErrGone, sess.id)
+		return BatchSummary{}, fmt.Errorf("%w: clean session %q", ErrGone, sess.id)
 	}
 	if sess.queries == nil {
 		sess.queries = newSessionQueryCache(sess.ds, sess.server.cfg)
@@ -218,73 +255,40 @@ func (sess *Session) Query(ctx context.Context, req BatchRequest) (*BatchResult,
 	if req.K != 0 {
 		var err error
 		if k, err = sess.ds.resolveK(req.K); err != nil {
-			return nil, err
+			return BatchSummary{}, err
 		}
 	}
 	dim := sess.ds.dim()
 	for i, t := range req.Points {
 		if len(t) != dim {
-			return nil, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
+			return BatchSummary{}, fmt.Errorf("serve: point %d has dim %d, dataset expects %d", i, len(t), dim)
 		}
 	}
 	cfg := sess.server.cfg.withDefaults()
-	res := &BatchResult{K: k, Results: make([]PointResult, len(req.Points))}
-	workers := cfg.Parallelism
-	if workers > len(req.Points) {
-		workers = len(req.Points)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := range work {
-				if errs[w] != nil || ctx.Err() != nil {
-					continue // keep draining so senders never block
-				}
-				ent := q.entry(req.Points[i], k)
-				r, qerr := q.queryPoint(ent, hist, req.UseMC)
-				if qerr != nil {
-					errs[w] = qerr
-					continue
-				}
-				res.Results[i] = r
-			}
-		}(w)
-	}
-feed:
-	for i := range req.Points {
-		select {
-		case work <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(work)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("serve: session query abandoned: %w", err)
-	}
-	for _, werr := range errs {
-		if werr != nil {
-			return nil, werr
-		}
-	}
+	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
 	certain := 0
-	for _, r := range res.Results {
-		if r.Certain {
-			certain++
+	err := runOrdered(ctx, len(req.Points), batchWorkers,
+		func(i int) (PointResult, error) {
+			ent := q.entry(req.Points[i], k)
+			return q.queryPoint(ent, hist, req.UseMC, sweepWorkers)
+		},
+		func(i int, r PointResult) error {
+			if r.Certain {
+				certain++
+			}
+			return yield(i, r)
+		})
+	if err != nil {
+		if ctx.Err() != nil {
+			return BatchSummary{}, fmt.Errorf("serve: session query abandoned: %w", ctx.Err())
 		}
+		return BatchSummary{}, err
 	}
-	if len(res.Results) > 0 {
-		res.CertainFraction = float64(certain) / float64(len(res.Results))
+	sum := BatchSummary{K: k, Points: len(req.Points)}
+	if len(req.Points) > 0 {
+		sum.CertainFraction = float64(certain) / float64(len(req.Points))
 	}
-	return res, nil
+	return sum, nil
 }
 
 // QueryStats snapshots the session's query-memo counters (zero when the

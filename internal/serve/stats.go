@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"repro/internal/core"
 	"repro/internal/durable"
 )
 
@@ -15,6 +16,12 @@ type ServerStats struct {
 	Pools         map[string][]PoolStats `json:"pools,omitempty"`
 	// SessionQueries aggregates every live session's pin-state query memo.
 	SessionQueries SessionQueryStats `json:"session_queries"`
+	// SweepWorkers echoes Config.SweepWorkers (0 = sequential sweeps); Sweep
+	// totals the span-parallel sweep counters — parallel sweeps run, spans
+	// executed, spans stolen across workers — over every dataset pool and
+	// live session.
+	SweepWorkers int             `json:"sweep_workers"`
+	Sweep        core.SweepStats `json:"sweep"`
 	// WAL is present only when the server runs with a data directory.
 	WAL *durable.Metrics `json:"wal,omitempty"`
 }
@@ -29,13 +36,18 @@ func (s *Server) Stats() ServerStats {
 	}
 	s.mu.RUnlock()
 	st.Datasets = len(datasets)
+	st.SweepWorkers = s.cfg.SweepWorkers
 	for _, ds := range datasets {
 		if pools := ds.Stats(); len(pools) > 0 {
 			st.Pools[ds.Name()] = pools
+			for _, ps := range pools {
+				st.Sweep.Add(ps.Sweep)
+			}
 		}
 	}
 	st.CleanSessions = s.CleanSessionCount()
 	st.SessionQueries = s.sessions.queryStatsTotals()
+	st.Sweep.Add(st.SessionQueries.Sweep)
 	if s.journal != nil {
 		m := s.journal.store.Metrics()
 		st.WAL = &m
@@ -56,6 +68,7 @@ func (st *sessionStore) queryStatsTotals() SessionQueryStats {
 		qs := sess.QueryStats()
 		total.Queries += qs.Queries
 		total.Retained.Add(qs.Retained)
+		total.Sweep.Add(qs.Sweep)
 	}
 	return total
 }

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// pointOutcome is one worker's answer for one point index.
+type pointOutcome struct {
+	idx int
+	r   PointResult
+	err error
+}
+
+// runOrdered fans point indices [0, n) out to `workers` goroutines and
+// delivers each result to yield in request order, as soon as it and every
+// lower index have completed — a reorder buffer over the unordered worker
+// fan-out, so the first results stream while later points are still
+// computing. It is the shared engine behind both buffered batch queries and
+// the NDJSON streaming mode.
+//
+// Error semantics are deterministic: results are only ever accepted at the
+// lowest unemitted index, so the first error returned is always the one with
+// the lowest point index, regardless of worker scheduling. On any error —
+// a failed query, a failed yield (client write), or ctx cancellation — the
+// fan-out stops handing out new points, in-flight workers are cancelled, and
+// the indices already yielded stay yielded. A ctx error takes precedence in
+// the return value so callers can map disconnects distinctly.
+func runOrdered(ctx context.Context, n, workers int, query func(i int) (PointResult, error), yield func(i int, r PointResult) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	work := make(chan int)
+	out := make(chan pointOutcome, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if cctx.Err() != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				r, err := query(i)
+				select {
+				case out <- pointOutcome{idx: i, r: r, err: err}:
+				case <-cctx.Done():
+				}
+			}
+		}()
+	}
+
+	// Single coordinator: feeds indices and folds outcomes back into order.
+	// pending holds results that arrived ahead of the next index to emit.
+	pending := make(map[int]pointOutcome, workers)
+	next, fed := 0, 0
+	erred := false // some outcome errored; stop feeding new indices
+	var firstErr error
+	for next < n && firstErr == nil && ctx.Err() == nil {
+		feed := work
+		if fed >= n || erred {
+			feed = nil // select never picks a nil channel
+		}
+		select {
+		case feed <- fed:
+			fed++
+		case o := <-out:
+			if o.err != nil {
+				erred = true
+			}
+			pending[o.idx] = o
+			for {
+				po, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if po.err != nil {
+					// next is the lowest unemitted index, so this is the
+					// lowest-index error by construction.
+					firstErr = po.err
+					break
+				}
+				if err := yield(next, po.r); err != nil {
+					firstErr = err
+					break
+				}
+				next++
+			}
+		case <-ctx.Done():
+		}
+		if erred && next == fed && len(pending) == 0 && firstErr == nil {
+			// Every fed index below the error has been emitted and the
+			// errored outcome itself was consumed — nothing left to wait for.
+			// (Unreachable in practice: the errored outcome stays pending
+			// until next reaches it, setting firstErr above. Kept as a
+			// belt-and-braces exit so a logic change cannot deadlock here.)
+			break
+		}
+	}
+	cancel()
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

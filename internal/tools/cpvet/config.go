@@ -98,12 +98,18 @@ func DefaultConfig() *Config {
 			"repro/internal/segtree":   true,
 			"repro/internal/selection": true,
 			"repro/internal/cleaning":  true,
-			"repro/cmd/cpserve":        true,
+			// Span-parallel sweep workers (core/sweep.go) share scratches and
+			// span queues; lock discipline applies to core now that it spawns.
+			"repro/internal/core": true,
+			"repro/cmd/cpserve":   true,
 		},
 		HotPathPkgs: map[string]bool{
 			"repro/internal/serve":   true,
 			"repro/internal/durable": true,
 			"repro/internal/segtree": true,
+			// The sweep inner loop is the hottest path in the repository;
+			// nothing may block under a mutex there.
+			"repro/internal/core": true,
 		},
 		BlockingCalls: map[string]bool{
 			"time.Sleep":          true,
@@ -122,7 +128,10 @@ func DefaultConfig() *Config {
 			"repro/internal/segtree":   true,
 			"repro/internal/selection": true,
 			"repro/internal/cleaning":  true,
-			"repro/cmd/cpserve":        true,
+			// runSpans' span workers must stay joined (WaitGroup visible at
+			// the spawn site) — the sweep returns only after every span lands.
+			"repro/internal/core": true,
+			"repro/cmd/cpserve":   true,
 		},
 		// The canonical serve-layer hierarchy: Server.mu before the session
 		// store's mu before any Session.mu (see docs/ARCHITECTURE.md,
