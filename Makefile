@@ -14,10 +14,11 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Race-check everything. The concurrency lives in serve (shared engines +
-# pooled scratches), cleaning, selection (parallel hypothesis sweeps),
-# durable (group-commit flusher vs concurrent appenders), and segtree —
-# but ./... costs little more and catches races that leak across package
-# boundaries (e.g. a serve test driving the WAL).
+# pooled scratches, and the follower's apply-vs-query seam), replica (the
+# tailer loop vs Status/Close), cleaning, selection (parallel hypothesis
+# sweeps), durable (group-commit flusher vs concurrent appenders), and
+# segtree — but ./... costs little more and catches races that leak across
+# package boundaries (e.g. a serve test driving the WAL).
 race:
 	$(GO) test -race -shuffle=on ./...
 

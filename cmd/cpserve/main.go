@@ -9,6 +9,7 @@
 //	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
 //	        [-data-dir /var/lib/cpserve] [-wal-segment-bytes 8388608]
 //	        [-wal-sync-interval 5ms]
+//	        [-follow http://leader:8080] [-advertise http://this-host:8080]
 //
 // With -data-dir set the server is durable: dataset registrations and every
 // clean-session event are journaled to a CRC-framed write-ahead log (with
@@ -18,6 +19,17 @@
 // released/expired session IDs keep answering 404/410 truthfully. Without
 // -data-dir everything is in-memory and dies with the process. Run exactly
 // one cpserve per data directory.
+//
+// With -follow the server is a read-only replica: it tails the leader's WAL
+// ship stream (GET /v1/wal/stream), applies every journaled record exactly
+// as restart recovery would, re-journals it into its own -data-dir
+// (required), and serves all read routes — batch/entropy queries, session
+// status, history replay — from the replicated state, byte-identical to the
+// leader's answers at the same replication offset. Writes are rejected with
+// 421 Misdirected Request plus a Leader header naming the leader (what the
+// leader passes via -advertise). A restarting follower resumes from its
+// durably persisted cursor; a follower whose cursor the leader has compacted
+// away re-bootstraps from GET /v1/wal/snapshot.
 //
 // Datasets are registered either at startup (-train: a CSV with missing
 // cells whose last column is the integer label, expanded into candidate
@@ -106,7 +118,12 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable data directory (WAL + snapshots); empty = in-memory")
 	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL size that triggers snapshot compaction (0 = default, <0 = never)")
 	walSyncInterval := flag.Duration("wal-sync-interval", 0, "group-commit fsync window (0 = default, <0 = fsync every append)")
+	follow := flag.String("follow", "", "run as a read-only follower of the leader at this base URL (requires -data-dir)")
+	advertise := flag.String("advertise", "", "this leader's client-facing base URL, echoed to followers for write redirects")
 	flag.Parse()
+	if *follow != "" && *trainPath != "" {
+		fatalf("-train and -follow are mutually exclusive: a follower takes registrations only from its leader")
+	}
 
 	// The listener comes up immediately and answers 503 until recovery (and
 	// any -train registration) completes, so health checks and clients see
@@ -143,6 +160,8 @@ func main() {
 			DataDir:          *dataDir,
 			WALSegmentBytes:  *walSegmentBytes,
 			WALSyncInterval:  *walSyncInterval,
+			FollowURL:        *follow,
+			AdvertiseURL:     *advertise,
 		})
 		if err != nil {
 			fatalf("opening data dir %s: %v", *dataDir, err)
@@ -150,6 +169,9 @@ func main() {
 		if *dataDir != "" {
 			nDatasets, nSessions := s.RecoveredCounts()
 			log.Printf("recovered from %s: %d dataset(s), %d live clean session(s)", *dataDir, nDatasets, nSessions)
+		}
+		if *follow != "" {
+			log.Printf("read-only follower of %s; writes answer 421 with a Leader header", *follow)
 		}
 		if *trainPath != "" {
 			registerTrain(s, *trainPath, *name, *k, *maxCands)

@@ -131,6 +131,17 @@ type Store struct {
 	syncErr   error  // sticky: a failed fsync poisons the store
 	closed    bool
 
+	// Cursor/ordinal bookkeeping for WAL shipping (see cursor.go). All of it
+	// is mutated under mu once the store is open; Open and startSegment write
+	// it before the store is shared.
+	activeStart int64         // global ordinal of the active segment's first record
+	activeRecs  int64         // records written to the active segment
+	syncedLen   int64         // bytes of the active segment known durable
+	syncedRecs  int64         // records of the active segment known durable
+	sealedStart map[int]int64 // first global ordinal per sealed on-disk segment
+	sealedRecs  map[int]int64 // record count per sealed on-disk segment
+	syncedCh    chan struct{} // closed and replaced whenever the durable frontier moves
+
 	// Observability counters (guarded by mu; see Metrics).
 	fsyncCount    int64
 	fsyncTotal    time.Duration
@@ -157,7 +168,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	st := &Store{dir: dir, opts: opts}
+	st := &Store{
+		dir:         dir,
+		opts:        opts,
+		sealedStart: make(map[int]int64),
+		sealedRecs:  make(map[int]int64),
+	}
 	st.cond = sync.NewCond(&st.mu)
 	replayStart := time.Now() //cpvet:allow nowalltime -- replay-duration metric only, never persisted
 
@@ -222,6 +238,9 @@ func Open(dir string, opts Options) (*Store, error) {
 		}
 		prev = seq
 	}
+	// Global record ordinals (1-based, counted from the first record after
+	// the snapshot) let a shipping cursor report exact replication lag.
+	ord := int64(1)
 	for _, seq := range segs {
 		if seq <= snapSeq {
 			// Fully covered by the snapshot; normally deleted by Compact, but a
@@ -229,9 +248,20 @@ func Open(dir string, opts Options) (*Store, error) {
 			continue
 		}
 		final := seq == segs[len(segs)-1]
-		if err := st.replaySegment(seq, final); err != nil {
+		frames, err := st.replaySegment(seq, final)
+		if err != nil {
 			return nil, err
 		}
+		if final && st.f != nil && st.activeSeq == seq {
+			st.activeStart = ord
+			st.activeRecs = frames
+			st.syncedRecs = frames
+			st.syncedLen = st.activeLen
+		} else {
+			st.sealedStart[seq] = ord
+			st.sealedRecs[seq] = frames
+		}
+		ord += frames
 	}
 
 	if len(segs) == 0 || segs[len(segs)-1] <= snapSeq {
@@ -239,6 +269,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if err := st.startSegment(snapSeq + 1); err != nil {
 			return nil, err
 		}
+		st.activeStart = ord
 	}
 	st.replayDur = time.Since(replayStart) //cpvet:allow nowalltime -- replay-duration metric only, never persisted
 	st.replayRecords = int64(len(st.records))
@@ -348,61 +379,46 @@ func scanDir(dir string) (segs, snaps []int, err error) {
 func segName(seq int) string  { return fmt.Sprintf("wal-%08d.log", seq) }
 func snapName(seq int) string { return fmt.Sprintf("snap-%08d.snap", seq) }
 
-// replaySegment reads one segment into st.records. For the final (active)
-// segment a corrupt or torn record truncates the file back to the last good
-// offset and the segment stays open for appends; for interior segments the
-// remainder is skipped with a warning.
+// replaySegment reads one segment into st.records and returns how many
+// intact frames it holds (the segment's record count for cursor ordinals —
+// undecodable-but-intact frames included, since they occupy log positions).
+// For the final (active) segment a corrupt or torn record truncates the file
+// back to the last good offset and the segment stays open for appends; for
+// interior segments the remainder is skipped with a warning.
 //
 //cpvet:allow walframe -- sanctioned helper: the only truncation of a torn tail
-func (st *Store) replaySegment(seq int, final bool) error {
+func (st *Store) replaySegment(seq int, final bool) (int64, error) {
 	path := filepath.Join(st.dir, segName(seq))
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
-		return fmt.Errorf("durable: %w", err)
+		return 0, fmt.Errorf("durable: %w", err)
 	}
 	header := make([]byte, len(segMagic))
 	if _, err := io.ReadFull(f, header); err != nil || string(header) != segMagic {
 		_ = f.Close() // nothing was written; the skip/recreate path below is the answer
 		if !final {
 			st.opts.Logf("durable: segment %s has a bad header; skipping it", segName(seq))
-			return nil
+			return 0, nil
 		}
 		// An empty or garbage active segment (crash during creation): recreate.
 		st.opts.Logf("durable: active segment %s has a bad header; recreating it", segName(seq))
-		return st.startSegment(seq)
+		return 0, st.startSegment(seq)
 	}
 	r := bufio.NewReader(f)
 	good := int64(len(segMagic)) // end offset of the last intact record
-	var frame [frameHeaderLen]byte
+	frames := int64(0)
 	for {
-		if _, err := io.ReadFull(r, frame[:]); err != nil {
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
-				_ = f.Close() // the read error is the one worth reporting
-				return fmt.Errorf("durable: reading %s: %w", segName(seq), err)
-			}
-			if err == io.ErrUnexpectedEOF {
-				st.truncateWarn(seq, good, "torn frame header")
-			}
+		payload, err := ReadFrame(r)
+		if err == io.EOF {
 			break
 		}
-		length := binary.LittleEndian.Uint32(frame[0:4])
-		sum := binary.LittleEndian.Uint32(frame[4:8])
-		if length > maxRecordBytes {
-			st.truncateWarn(seq, good, fmt.Sprintf("implausible record length %d", length))
-			break
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			if err != io.EOF && err != io.ErrUnexpectedEOF {
-				_ = f.Close() // the read error is the one worth reporting
-				return fmt.Errorf("durable: reading %s: %w", segName(seq), err)
+		if err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, ErrCorruptFrame) {
+				st.truncateWarn(seq, good, frameErrReason(err))
+				break
 			}
-			st.truncateWarn(seq, good, "torn record payload")
-			break
-		}
-		if crc32.Checksum(payload, crcTable) != sum {
-			st.truncateWarn(seq, good, "record checksum mismatch")
-			break
+			_ = f.Close() // the read error is the one worth reporting
+			return 0, fmt.Errorf("durable: reading %s: %w", segName(seq), err)
 		}
 		var rec Record
 		if err := json.Unmarshal(payload, &rec); err != nil {
@@ -412,33 +428,43 @@ func (st *Store) replaySegment(seq int, final bool) error {
 		} else {
 			st.records = append(st.records, rec)
 		}
-		good += frameHeaderLen + int64(length)
+		good += frameHeaderLen + int64(len(payload))
+		frames++
 	}
 	if !final {
 		if err := f.Close(); err != nil {
-			return fmt.Errorf("durable: closing %s: %w", segName(seq), err)
+			return 0, fmt.Errorf("durable: closing %s: %w", segName(seq), err)
 		}
-		return nil
+		return frames, nil
 	}
 	// Adopt as the active segment: drop anything after the last good record
 	// so new appends land on a clean tail.
 	if err := f.Truncate(good); err != nil {
 		_ = f.Close() // the truncate error is the one worth reporting
-		return fmt.Errorf("durable: truncating %s: %w", segName(seq), err)
+		return 0, fmt.Errorf("durable: truncating %s: %w", segName(seq), err)
 	}
 	if _, err := f.Seek(good, io.SeekStart); err != nil {
 		_ = f.Close() // the seek error is the one worth reporting
-		return fmt.Errorf("durable: %w", err)
+		return 0, fmt.Errorf("durable: %w", err)
 	}
 	if err := f.Sync(); err != nil {
 		_ = f.Close() // the fsync error is the one worth reporting
-		return fmt.Errorf("durable: %w", err)
+		return 0, fmt.Errorf("durable: %w", err)
 	}
 	st.f = f
 	st.w = bufio.NewWriter(f)
 	st.activeSeq = seq
 	st.activeLen = good
-	return nil
+	return frames, nil
+}
+
+// frameErrReason renders a ReadFrame failure the way recovery warnings
+// traditionally describe torn tails.
+func frameErrReason(err error) string {
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return "torn record"
+	}
+	return err.Error()
 }
 
 func (st *Store) truncateWarn(seq int, good int64, why string) {
@@ -470,6 +496,9 @@ func (st *Store) startSegment(seq int) error {
 	st.w = bufio.NewWriter(f)
 	st.activeSeq = seq
 	st.activeLen = int64(len(segMagic))
+	st.activeRecs = 0
+	st.syncedRecs = 0
+	st.syncedLen = st.activeLen
 	return nil
 }
 
@@ -524,10 +553,6 @@ func (st *Store) append(rec Record) (uint64, error) {
 	if len(payload) > maxRecordBytes {
 		return 0, fmt.Errorf("durable: record of %d bytes exceeds the %d-byte cap", len(payload), maxRecordBytes)
 	}
-	var frame [frameHeaderLen]byte
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
-
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
@@ -536,13 +561,11 @@ func (st *Store) append(rec Record) (uint64, error) {
 	if st.syncErr != nil {
 		return 0, st.syncErr
 	}
-	if _, err := st.w.Write(frame[:]); err != nil {
-		return 0, st.poisonLocked(err)
-	}
-	if _, err := st.w.Write(payload); err != nil {
+	if err := WriteFrame(st.w, payload); err != nil {
 		return 0, st.poisonLocked(err)
 	}
 	st.activeLen += frameHeaderLen + int64(len(payload))
+	st.activeRecs++
 	st.appendSeq++
 	seq := st.appendSeq
 	if st.opts.SyncInterval < 0 {
@@ -560,6 +583,7 @@ func (st *Store) poisonLocked(err error) error {
 	if st.syncErr == nil {
 		st.syncErr = fmt.Errorf("durable: log write failed: %w", err)
 		st.cond.Broadcast()
+		st.signalSyncedLocked() // wake tailing readers so they observe the poison
 	}
 	return st.syncErr
 }
@@ -586,7 +610,10 @@ func (st *Store) flushLocked() error {
 	st.fsyncTotal += st.fsyncLast
 	st.fsyncCount++
 	st.syncedSeq = st.appendSeq
+	st.syncedLen = st.activeLen
+	st.syncedRecs = st.activeRecs
 	st.cond.Broadcast()
+	st.signalSyncedLocked()
 	return nil
 }
 
@@ -664,6 +691,7 @@ func (st *Store) Compact(state func() ([]byte, error)) error {
 		return err
 	}
 	sealed := st.activeSeq
+	sealedOrd, sealedCount := st.activeStart, st.activeRecs
 	old := st.f
 	if err := st.startSegment(sealed + 1); err != nil {
 		// startSegment left st.f/st.w untouched on failure: the sealed segment
@@ -671,6 +699,10 @@ func (st *Store) Compact(state func() ([]byte, error)) error {
 		st.mu.Unlock()
 		return err
 	}
+	// The sealed segment stays shippable until its file is deleted below.
+	st.sealedStart[sealed] = sealedOrd
+	st.sealedRecs[sealed] = sealedCount
+	st.activeStart = sealedOrd + sealedCount
 	// The sealed segment was flushed and fsynced by flushLocked above, so a
 	// close error cannot lose data.
 	_ = old.Close()
@@ -700,7 +732,12 @@ func (st *Store) Compact(state func() ([]byte, error)) error {
 		if seq <= sealed {
 			if err := os.Remove(filepath.Join(st.dir, segName(seq))); err != nil {
 				st.opts.Logf("durable: removing compacted %s: %v", segName(seq), err)
+				continue // the file survives, so it stays shippable
 			}
+			st.mu.Lock()
+			delete(st.sealedStart, seq)
+			delete(st.sealedRecs, seq)
+			st.mu.Unlock()
 		}
 	}
 	for _, seq := range snaps {
@@ -724,6 +761,7 @@ func (st *Store) Close() error {
 	err := st.flushLocked()
 	st.closed = true
 	st.cond.Broadcast()
+	st.signalSyncedLocked() // wake tailing readers so they observe the close
 	closeErr := st.f.Close()
 	st.mu.Unlock()
 	close(st.flusherStop)

@@ -1,0 +1,352 @@
+package replica
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+)
+
+func trec(i int) durable.Record {
+	return durable.Record{Entity: "e", Type: "step", Data: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))}
+}
+
+func appendRecs(t *testing.T, st *durable.Store, lo, hi int) {
+	t.Helper()
+	for i := lo; i < hi; i++ {
+		if err := st.Append(trec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// collector is a test Apply sink counting exactly-once delivery.
+type collector struct {
+	mu   sync.Mutex
+	recs []durable.Record
+}
+
+func (c *collector) apply(rec durable.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs = append(c.recs, rec)
+	return nil
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.recs)
+}
+
+// checkExactlyOnce asserts the collector holds records lo..hi, each exactly
+// once, in append order — the convergence contract after any fault.
+func (c *collector) checkExactlyOnce(t *testing.T, lo, hi int) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.recs) != hi-lo {
+		t.Fatalf("applied %d records, want %d", len(c.recs), hi-lo)
+	}
+	for j, r := range c.recs {
+		if want := trec(lo + j); !reflect.DeepEqual(r, want) {
+			t.Fatalf("applied record %d = %+v, want %+v (duplicate, loss, or reorder)", j, r, want)
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// leaderFixture is a raw durable store behind a real Shipper on an httptest
+// server — the leader side of the protocol with no serving stack on top.
+func leaderFixture(t *testing.T) (*durable.Store, *Shipper, *httptest.Server) {
+	t.Helper()
+	st, err := durable.Open(t.TempDir(), durable.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	sh := &Shipper{Store: st, Advertise: "http://leader.example", Heartbeat: 20 * time.Millisecond, Logf: t.Logf}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal/stream", sh.ServeStream)
+	mux.HandleFunc("GET /v1/wal/snapshot", sh.ServeSnapshot)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return st, sh, srv
+}
+
+// TestShipTailLive drives the happy path end to end: a fresh follower
+// bootstraps (204: no snapshot yet), catches up on the backlog, then applies
+// live appends as the leader's group commit lands them.
+func TestShipTailLive(t *testing.T) {
+	st, sh, srv := leaderFixture(t)
+	appendRecs(t, st, 0, 10)
+
+	col := &collector{}
+	tl := StartTailer(TailerConfig{
+		BaseURL: srv.URL, Apply: col.apply, Logf: t.Logf,
+		ReconnectDelay: time.Millisecond,
+	}, durable.Cursor{})
+	defer tl.Close()
+
+	waitFor(t, "backlog catch-up", func() bool { return col.count() == 10 })
+	appendRecs(t, st, 10, 15)
+	waitFor(t, "live tail", func() bool { return col.count() == 15 })
+	col.checkExactlyOnce(t, 0, 15)
+
+	waitFor(t, "lag to settle", func() bool {
+		s := tl.Status()
+		return s.Connected && s.LagRecords == 0
+	})
+	status := tl.Status()
+	if status.LeaderURL != "http://leader.example" {
+		t.Fatalf("LeaderURL %q, want the advertised URL", status.LeaderURL)
+	}
+	if status.Bootstraps != 1 || status.AppliedRecords != 15 {
+		t.Fatalf("status %+v, want 1 bootstrap and 15 applied", status)
+	}
+	tip, _ := st.SyncedTip()
+	if status.Cursor != tip {
+		t.Fatalf("follower cursor %v, leader durable tip %v", status.Cursor, tip)
+	}
+	if ss := sh.Stats(); ss.StreamsServed < 1 || ss.RecordsShipped < 15 {
+		t.Fatalf("shipper stats %+v", ss)
+	}
+}
+
+// TestTailerRestartResumes pins redelivery-free resume: a tailer restarted
+// from the cursor the old one reached applies only records appended after it.
+func TestTailerRestartResumes(t *testing.T) {
+	st, _, srv := leaderFixture(t)
+	appendRecs(t, st, 0, 6)
+
+	first := &collector{}
+	tl := StartTailer(TailerConfig{BaseURL: srv.URL, Apply: first.apply, Logf: t.Logf, ReconnectDelay: time.Millisecond}, durable.SegmentStart(1))
+	waitFor(t, "first tailer catch-up", func() bool { return first.count() == 6 })
+	tl.Close()
+	cursor := tl.Status().Cursor
+	first.checkExactlyOnce(t, 0, 6)
+
+	appendRecs(t, st, 6, 10)
+	second := &collector{}
+	tl2 := StartTailer(TailerConfig{BaseURL: srv.URL, Apply: second.apply, Logf: t.Logf, ReconnectDelay: time.Millisecond}, cursor)
+	defer tl2.Close()
+	waitFor(t, "resumed tailer catch-up", func() bool { return second.count() == 4 })
+	second.checkExactlyOnce(t, 6, 10)
+	if tl2.Status().Bootstraps != 0 {
+		t.Fatal("a resume from a live cursor must not bootstrap")
+	}
+}
+
+// TestTailerRebootstrapAfterCompaction pins the 410 path: a follower whose
+// cursor the leader compacted away re-bootstraps from the snapshot (replace
+// semantics) and resumes the stream after the segment the snapshot covers.
+func TestTailerRebootstrapAfterCompaction(t *testing.T) {
+	st, _, srv := leaderFixture(t)
+	appendRecs(t, st, 0, 5)
+	state := []byte(`{"compacted":"through-5"}`)
+	if err := st.Compact(func() ([]byte, error) { return state, nil }); err != nil {
+		t.Fatal(err)
+	}
+	appendRecs(t, st, 5, 8)
+
+	col := &collector{}
+	var snapMu sync.Mutex
+	var snaps [][]byte
+	tl := StartTailer(TailerConfig{
+		BaseURL: srv.URL,
+		Apply:   col.apply,
+		ApplySnapshot: func(p []byte) error {
+			snapMu.Lock()
+			defer snapMu.Unlock()
+			snaps = append(snaps, append([]byte(nil), p...))
+			return nil
+		},
+		Logf:           t.Logf,
+		ReconnectDelay: time.Millisecond,
+	}, durable.SegmentStart(1)) // stale: segment 1 was compacted away
+	defer tl.Close()
+
+	waitFor(t, "post-snapshot records", func() bool { return col.count() == 3 })
+	col.checkExactlyOnce(t, 5, 8)
+	snapMu.Lock()
+	defer snapMu.Unlock()
+	if len(snaps) != 1 || !bytes.Equal(snaps[0], state) {
+		t.Fatalf("ApplySnapshot calls %d (payload %q), want exactly the compaction state once", len(snaps), snaps)
+	}
+	if s := tl.Status(); s.Bootstraps != 1 {
+		t.Fatalf("Bootstraps %d, want 1", s.Bootstraps)
+	}
+}
+
+// TestCursorFile pins the durable-cursor round trip and its failure
+// contract: absent file = fresh follower, unreadable file = loud error.
+func TestCursorFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CursorFileName)
+	if _, ok, err := LoadCursor(path); ok || err != nil {
+		t.Fatalf("missing file: ok=%v err=%v", ok, err)
+	}
+	want := durable.Cursor{Segment: 3, Offset: 4096}
+	if err := SaveCursor(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := LoadCursor(path)
+	if err != nil || !ok || got != want {
+		t.Fatalf("LoadCursor = (%v, %v, %v), want (%v, true, nil)", got, ok, err, want)
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCursor(path); err == nil {
+		t.Fatal("corrupt cursor file loaded silently")
+	}
+}
+
+// faultHandler serves one poisoned stream response, then passes through to
+// the real shipper. checkBeforeRetry observes state between the poisoned
+// attempt and the retry.
+type faultHandler struct {
+	sh *Shipper
+
+	mu               sync.Mutex
+	poison           []byte
+	served           bool
+	checkBeforeRetry func()
+}
+
+func (f *faultHandler) arm(poison []byte, check func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.poison = append([]byte(nil), poison...)
+	f.served = false
+	f.checkBeforeRetry = check
+}
+
+func (f *faultHandler) stream(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	if !f.served {
+		f.served = true
+		poison := f.poison
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", ContentTypeFrames)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(poison)
+		return // closing the handler tears the chunked stream here
+	}
+	check := f.checkBeforeRetry
+	f.mu.Unlock()
+	if check != nil {
+		check()
+	}
+	f.sh.ServeStream(w, r)
+}
+
+// shipStreamBytes renders the catch-up portion of a ship stream — the exact
+// frames ServeStream would send for the store's current contents — and the
+// byte offset at which each frame ends.
+func shipStreamBytes(t *testing.T, st *durable.Store) (stream []byte, frameEnds []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	_, tipOrd := st.SyncedTip()
+	_, err := st.ReadFrom(durable.SegmentStart(1), func(payload []byte, ord int64, next durable.Cursor) error {
+		env := envelope{Segment: next.Segment, Offset: next.Offset, Ord: ord, TipOrd: tipOrd, Record: payload}
+		if err := writeEnvelope(bw, env); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		frameEnds = append(frameEnds, buf.Len())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), frameEnds
+}
+
+// TestFaultInjectionSweep is the shipped-segment fault sweep: the follower's
+// first connection gets the catch-up stream truncated at EVERY byte boundary
+// (and, separately, with a CRC byte flipped in every frame). The contract
+// under test: the follower applies exactly the intact frames before the
+// fault — never a torn or corrupt record — then re-fetches from its cursor
+// and converges to exactly-once delivery of the whole log.
+func TestFaultInjectionSweep(t *testing.T) {
+	st, err := durable.Open(t.TempDir(), durable.Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	const n = 3
+	appendRecs(t, st, 0, n)
+	stream, frameEnds := shipStreamBytes(t, st)
+	if len(frameEnds) != n {
+		t.Fatalf("rendered %d frames, want %d", len(frameEnds), n)
+	}
+
+	sh := &Shipper{Store: st, Heartbeat: 10 * time.Millisecond, Logf: t.Logf}
+	fh := &faultHandler{sh: sh}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/wal/stream", fh.stream)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// intactBefore(cut) = frames wholly inside stream[:cut] — exactly what a
+	// correct follower may apply from the poisoned attempt.
+	intactBefore := func(cut int) int {
+		k := 0
+		for k < len(frameEnds) && frameEnds[k] <= cut {
+			k++
+		}
+		return k
+	}
+
+	runCase := func(name string, poison []byte, wantIntact int) {
+		col := &collector{}
+		fh.arm(poison, func() {
+			if got := col.count(); got != wantIntact {
+				t.Errorf("%s: follower applied %d records from the poisoned stream, want %d (torn/corrupt frame applied?)", name, got, wantIntact)
+			}
+		})
+		tl := StartTailer(TailerConfig{BaseURL: srv.URL, Apply: col.apply, ReconnectDelay: time.Millisecond}, durable.SegmentStart(1))
+		waitFor(t, name+" convergence", func() bool { return col.count() == n })
+		tl.Close()
+		col.checkExactlyOnce(t, 0, n)
+	}
+
+	for cut := 0; cut <= len(stream); cut++ {
+		runCase(fmt.Sprintf("truncate@%d", cut), stream[:cut], intactBefore(cut))
+	}
+	for f := 0; f < len(frameEnds); f++ {
+		start := 0
+		if f > 0 {
+			start = frameEnds[f-1]
+		}
+		flipped := append([]byte(nil), stream...)
+		flipped[start+4] ^= 0xFF // one byte inside frame f's CRC field
+		runCase(fmt.Sprintf("crcflip@frame%d", f), flipped, f)
+	}
+}

@@ -1,0 +1,247 @@
+// Package replica implements WAL shipping between a leader serving process
+// and read-only followers. The leader streams its journal over HTTP as the
+// same CRC-framed records it writes to disk, resumable from any
+// (segment, offset) cursor; a follower tails the stream, applies each record
+// to its in-memory state exactly as startup recovery would, and re-journals
+// it locally so a restart resumes from a durable cursor.
+//
+// The wire protocol is deliberately the storage format: each frame on a
+// GET /v1/wal/stream response is a durable.WriteFrame-framed JSON envelope
+// carrying one journal record (bytes verbatim from the leader's log) plus
+// its position and ordinal, or a bare "tip" heartbeat that keeps the
+// follower's lag estimate fresh while no records flow. A torn or bit-flipped
+// frame fails the durable.ReadFrame checksum on the follower, which drops
+// the connection and re-fetches from its last applied cursor — a corrupt
+// record is never applied, the defining fault-injection contract of this
+// package.
+package replica
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+)
+
+const (
+	// HeaderLeader names the leader's advertised base URL on ship-stream
+	// responses (and on 421 write rejections from a follower).
+	HeaderLeader = "X-CP-Leader"
+	// HeaderSnapshotSegment carries the segment a shipped snapshot covers
+	// through; the follower resumes the stream at the next segment.
+	HeaderSnapshotSegment = "X-CP-Snapshot-Segment"
+	// ContentTypeFrames is the media type of a ship stream: a sequence of
+	// durable CRC frames, each holding one JSON envelope.
+	ContentTypeFrames = "application/x-cpwal-frames"
+
+	// DefaultHeartbeat is how often an idle ship stream sends a tip frame.
+	DefaultHeartbeat = 2 * time.Second
+)
+
+// envelope is one frame payload on the ship stream.
+type envelope struct {
+	// Segment/Offset is the cursor just past this record — what the follower
+	// resumes from once the record is applied. On a tip frame it is the
+	// leader's durable frontier itself.
+	Segment int   `json:"segment"`
+	Offset  int64 `json:"offset"`
+	// Ord is the record's global ordinal on the leader; TipOrd is the
+	// ordinal of the leader's last durable record when the frame was built.
+	// TipOrd-Ord is the follower's replication lag in records.
+	Ord    int64 `json:"ord,omitempty"`
+	TipOrd int64 `json:"tip_ord"`
+	// Record is the journal record's bytes verbatim from the leader's log
+	// (nil on tip frames): the follower applies exactly what the leader
+	// persisted, so a shared WAL prefix is byte-identical on both sides.
+	Record json.RawMessage `json:"record,omitempty"`
+}
+
+// ShipStats counts a Shipper's lifetime activity for /v1/stats.
+type ShipStats struct {
+	StreamsServed   int64 `json:"streams_served"`
+	StreamsActive   int64 `json:"streams_active"`
+	RecordsShipped  int64 `json:"records_shipped"`
+	SnapshotsServed int64 `json:"snapshots_served"`
+}
+
+// Shipper serves a store's WAL to followers: ServeStream tails the record
+// stream from a cursor and ServeSnapshot hands out the newest snapshot for
+// bootstrap. One Shipper serves any number of concurrent followers.
+type Shipper struct {
+	Store *durable.Store
+	// Advertise is the leader's client-facing base URL, echoed in the
+	// X-CP-Leader response header so followers can redirect writers at it.
+	Advertise string
+	// Heartbeat overrides DefaultHeartbeat (tests shrink it).
+	Heartbeat time.Duration
+	// Logf receives per-stream diagnostics. nil = silent.
+	Logf func(format string, args ...interface{})
+
+	streams   atomic.Int64
+	active    atomic.Int64
+	shipped   atomic.Int64
+	snapshots atomic.Int64
+}
+
+// Stats snapshots the shipper's counters.
+func (sh *Shipper) Stats() ShipStats {
+	return ShipStats{
+		StreamsServed:   sh.streams.Load(),
+		StreamsActive:   sh.active.Load(),
+		RecordsShipped:  sh.shipped.Load(),
+		SnapshotsServed: sh.snapshots.Load(),
+	}
+}
+
+func (sh *Shipper) logf(format string, args ...interface{}) {
+	if sh.Logf != nil {
+		sh.Logf(format, args...)
+	}
+}
+
+func (sh *Shipper) heartbeat() time.Duration {
+	if sh.Heartbeat > 0 {
+		return sh.Heartbeat
+	}
+	return DefaultHeartbeat
+}
+
+// ServeSnapshot is GET /v1/wal/snapshot: the newest intact snapshot payload
+// with its covered-through segment in X-CP-Snapshot-Segment, or 204 when the
+// log has never been compacted (the follower starts from the first segment).
+func (sh *Shipper) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	payload, seq, ok, err := sh.Store.LatestSnapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	sh.snapshots.Add(1)
+	if sh.Advertise != "" {
+		w.Header().Set(HeaderLeader, sh.Advertise)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderSnapshotSegment, strconv.Itoa(seq))
+	if _, err := w.Write(payload); err != nil {
+		sh.logf("replica: writing snapshot to follower: %v", err)
+	}
+}
+
+// ServeStream is GET /v1/wal/stream?from=<segment,offset>: an unbounded
+// chunked response of CRC-framed envelopes. With no from parameter the
+// stream starts at the oldest record on disk. A cursor older than the oldest
+// segment gets 410 Gone plus a JSON body naming the oldest available cursor
+// — the follower re-bootstraps from ServeSnapshot. Once records are flowing
+// the stream never resyncs: any error just ends the response, and the
+// follower reconnects from its own durable cursor.
+func (sh *Shipper) ServeStream(w http.ResponseWriter, r *http.Request) {
+	from := sh.Store.FirstCursor()
+	if q := r.URL.Query().Get("from"); q != "" {
+		c, err := durable.ParseCursor(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		from = c
+	}
+	if min := durable.SegmentStart(from.Segment); from.Offset < min.Offset {
+		from = min // offsets inside the magic header mean "top of segment"
+	}
+	if oldest := sh.Store.FirstCursor(); from.Before(oldest) {
+		// Refuse before committing to a 200: the records are gone, and the
+		// follower must know to bootstrap from the snapshot instead.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusGone)
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{
+			"error":  "cursor predates the oldest on-disk segment; bootstrap from /v1/wal/snapshot",
+			"oldest": oldest.String(),
+		})
+		return
+	}
+
+	sh.streams.Add(1)
+	sh.active.Add(1)
+	defer sh.active.Add(-1)
+	if sh.Advertise != "" {
+		w.Header().Set(HeaderLeader, sh.Advertise)
+	}
+	w.Header().Set("Content-Type", ContentTypeFrames)
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	ctx := r.Context()
+	c := from
+	for {
+		// Take the signal before reading: a frontier advance between the
+		// catch-up and the wait below then shows as an already-closed channel
+		// instead of a lost wakeup.
+		signal := sh.Store.SyncedSignal()
+		_, tipOrd := sh.Store.SyncedTip()
+		next, err := sh.Store.ReadFrom(c, func(payload []byte, ord int64, nc durable.Cursor) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			env := envelope{Segment: nc.Segment, Offset: nc.Offset, Ord: ord, TipOrd: tipOrd, Record: payload}
+			if err := writeEnvelope(bw, env); err != nil {
+				return err
+			}
+			sh.shipped.Add(1)
+			return nil
+		})
+		c = next
+		if err != nil {
+			switch {
+			case ctx.Err() != nil || errors.Is(err, durable.ErrClosed):
+				// Follower went away or the leader is shutting down.
+			case errors.Is(err, durable.ErrCompacted):
+				// Compaction passed the cursor mid-stream. Just end the
+				// response; the reconnect gets a clean 410 before any bytes.
+				sh.logf("replica: stream at %s overtaken by compaction; ending stream", c)
+			default:
+				sh.logf("replica: ship stream at %s failed: %v", c, err)
+			}
+			_ = bw.Flush()
+			return
+		}
+		// Caught up: confirm the frontier so the follower can report lag 0,
+		// then park until the frontier moves (or heartbeat so dead
+		// connections surface as write errors).
+		_, tipOrd = sh.Store.SyncedTip()
+		if err := writeEnvelope(bw, envelope{Segment: c.Segment, Offset: c.Offset, TipOrd: tipOrd}); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		idle := time.NewTimer(sh.heartbeat())
+		select {
+		case <-ctx.Done():
+			idle.Stop()
+			return
+		case <-signal:
+			idle.Stop()
+		case <-idle.C:
+		}
+	}
+}
+
+// writeEnvelope frames one envelope with the WAL's own CRC framing.
+func writeEnvelope(w *bufio.Writer, env envelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("replica: encoding envelope: %w", err)
+	}
+	return durable.WriteFrame(w, b)
+}

@@ -1,0 +1,340 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// ErrCursorGone reports a leader 410: the records at the follower's cursor
+// were compacted away, so the tailer must re-bootstrap from the leader's
+// snapshot instead of resuming the stream.
+var ErrCursorGone = errors.New("replica: cursor compacted away on the leader")
+
+// DefaultReconnectDelay is the base backoff between tail reconnects.
+const DefaultReconnectDelay = 200 * time.Millisecond
+
+// maxReconnectDelay caps the exponential reconnect backoff.
+const maxReconnectDelay = 5 * time.Second
+
+// TailerConfig wires a Tailer to its leader and its apply sink.
+type TailerConfig struct {
+	// BaseURL is the leader's base URL (scheme://host:port); the tailer
+	// appends /v1/wal/stream and /v1/wal/snapshot.
+	BaseURL string
+	// Client overrides http.DefaultClient (tests inject fault proxies).
+	Client *http.Client
+	// Apply folds one shipped record into follower state. It must be
+	// idempotent: a reconnect can redeliver the last record, and a restart
+	// redelivers everything after the persisted cursor. A returned error
+	// drops the connection and retries from the record's predecessor cursor.
+	Apply func(rec durable.Record) error
+	// ApplySnapshot replaces follower state with a leader snapshot payload
+	// (bootstrap, and re-bootstrap after ErrCursorGone). Replace — not merge
+	// — semantics: entities absent from the snapshot were released in the
+	// compacted gap and must go.
+	ApplySnapshot func(payload []byte) error
+	// OnAdvance, if non-nil, observes every cursor advance after the record
+	// is applied; caughtUp marks tip frames (the follower is at the leader's
+	// durable frontier). This is where the owner persists its cursor.
+	OnAdvance func(c durable.Cursor, caughtUp bool)
+	// Logf receives connection diagnostics. nil = silent.
+	Logf func(format string, args ...interface{})
+	// ReconnectDelay overrides DefaultReconnectDelay (tests shrink it).
+	ReconnectDelay time.Duration
+}
+
+// TailStatus is a point-in-time snapshot of a tailer's replication state.
+type TailStatus struct {
+	// Connected reports a live ship stream right now.
+	Connected bool
+	// LeaderURL is the leader's advertised URL (X-CP-Leader), falling back
+	// to the configured BaseURL.
+	LeaderURL string
+	// Cursor is the position just past the last applied record.
+	Cursor durable.Cursor
+	// AppliedRecords counts records applied since the tailer started.
+	AppliedRecords int64
+	// Bootstraps counts snapshot bootstraps (1 for a fresh follower; more
+	// after the leader compacted past our cursor).
+	Bootstraps int64
+	// LagRecords is the replication lag reported by the leader's last
+	// envelope, or -1 before the first envelope arrives.
+	LagRecords int64
+	// LastErr is the most recent connection or apply error ("" when none
+	// since the last healthy frame).
+	LastErr string
+}
+
+// Tailer follows a leader's ship stream: bootstrap from snapshot when there
+// is no cursor, then apply records as they arrive, reconnecting with backoff
+// on any failure. It never applies a frame that fails its CRC — a torn or
+// flipped record drops the connection and the re-fetch starts from the last
+// record that was applied.
+type Tailer struct {
+	cfg    TailerConfig
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu sync.Mutex
+	st TailStatus // guarded by mu
+}
+
+// StartTailer launches the tail loop from the given cursor (zero = bootstrap
+// from the leader's snapshot). Stop it with Close.
+func StartTailer(cfg TailerConfig, from durable.Cursor) *Tailer {
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &Tailer{cfg: cfg, cancel: cancel}
+	t.mu.Lock()
+	t.st.Cursor = from
+	t.st.LagRecords = -1
+	t.st.LeaderURL = cfg.BaseURL
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.run(ctx, from)
+	}()
+	return t
+}
+
+// Close stops the tail loop and waits for it to exit. The last applied
+// cursor remains readable via Status.
+func (t *Tailer) Close() {
+	t.cancel()
+	t.wg.Wait()
+}
+
+// Status snapshots the tailer's replication state.
+func (t *Tailer) Status() TailStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.st
+}
+
+func (t *Tailer) logf(format string, args ...interface{}) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+func (t *Tailer) client() *http.Client {
+	if t.cfg.Client != nil {
+		return t.cfg.Client
+	}
+	return http.DefaultClient
+}
+
+func (t *Tailer) baseDelay() time.Duration {
+	if t.cfg.ReconnectDelay > 0 {
+		return t.cfg.ReconnectDelay
+	}
+	return DefaultReconnectDelay
+}
+
+// run is the follower loop: (re)bootstrap when the cursor is zero, tail the
+// stream until it breaks, back off, repeat until Close.
+func (t *Tailer) run(ctx context.Context, c durable.Cursor) {
+	delay := t.baseDelay()
+	for ctx.Err() == nil {
+		if c.IsZero() {
+			nc, err := t.bootstrap(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				t.noteErr(err)
+				sleepCtx(ctx, delay)
+				delay = backoff(delay)
+				continue
+			}
+			c = nc
+			t.mu.Lock()
+			t.st.Cursor = c
+			t.st.Bootstraps++
+			t.mu.Unlock()
+		}
+		err := t.stream(ctx, &c)
+		t.setConnected(false)
+		if ctx.Err() != nil {
+			return
+		}
+		switch {
+		case errors.Is(err, ErrCursorGone):
+			t.logf("replica: leader compacted past cursor %s; re-bootstrapping from snapshot", c)
+			t.noteErr(err)
+			c = durable.Cursor{} // forces the snapshot path above
+		case err != nil:
+			t.noteErr(err)
+		default:
+			// Clean EOF: the leader closed the stream (shutdown, or a
+			// compaction race). Reconnect from where we stopped.
+		}
+		sleepCtx(ctx, delay)
+		delay = backoff(delay)
+	}
+}
+
+// bootstrap fetches the leader's newest snapshot, applies it, and returns
+// the cursor to start streaming from. With no snapshot on the leader (204)
+// the stream starts at the first segment and ApplySnapshot is not called.
+func (t *Tailer) bootstrap(ctx context.Context) (durable.Cursor, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.BaseURL+"/v1/wal/snapshot", nil)
+	if err != nil {
+		return durable.Cursor{}, fmt.Errorf("replica: %w", err)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return durable.Cursor{}, fmt.Errorf("replica: fetching snapshot: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }() // body fully read or abandoned below
+	t.noteLeader(resp.Header.Get(HeaderLeader))
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return durable.SegmentStart(1), nil
+	case http.StatusOK:
+		seq, err := strconv.Atoi(resp.Header.Get(HeaderSnapshotSegment))
+		if err != nil {
+			return durable.Cursor{}, fmt.Errorf("replica: snapshot response lacks a valid %s header: %w", HeaderSnapshotSegment, err)
+		}
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return durable.Cursor{}, fmt.Errorf("replica: reading snapshot: %w", err)
+		}
+		if t.cfg.ApplySnapshot == nil {
+			return durable.Cursor{}, errors.New("replica: leader requires a snapshot bootstrap but no ApplySnapshot is configured")
+		}
+		if err := t.cfg.ApplySnapshot(payload); err != nil {
+			return durable.Cursor{}, fmt.Errorf("replica: applying snapshot: %w", err)
+		}
+		return durable.SegmentStart(seq + 1), nil
+	default:
+		return durable.Cursor{}, fmt.Errorf("replica: snapshot fetch: leader answered %s", resp.Status)
+	}
+}
+
+// stream opens one ship connection from *c and applies frames until the
+// connection ends, keeping *c at the last applied position so the caller
+// reconnects without redelivery. A clean stream end returns nil; a torn or
+// corrupt frame, an apply failure, or a decode failure returns the error —
+// in every case nothing past the last intact, applied record was acted on.
+func (t *Tailer) stream(ctx context.Context, c *durable.Cursor) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.cfg.BaseURL+"/v1/wal/stream?from="+c.String(), nil)
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: connecting to leader: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }() // stream is abandoned on any exit
+	t.noteLeader(resp.Header.Get(HeaderLeader))
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		return ErrCursorGone
+	default:
+		return fmt.Errorf("replica: ship stream: leader answered %s", resp.Status)
+	}
+	t.setConnected(true)
+	br := bufio.NewReader(resp.Body)
+	for {
+		payload, err := durable.ReadFrame(br)
+		if err == io.EOF {
+			return nil // clean boundary: leader closed the stream
+		}
+		if err != nil {
+			// Torn mid-frame or checksum mismatch: refuse the frame and
+			// everything after it; the reconnect re-fetches from *c, the last
+			// record actually applied.
+			return fmt.Errorf("replica: ship stream broke at %s: %w", c, err)
+		}
+		var env envelope
+		if err := json.Unmarshal(payload, &env); err != nil {
+			return fmt.Errorf("replica: undecodable envelope at %s: %w", c, err)
+		}
+		if env.Record != nil {
+			var rec durable.Record
+			if err := json.Unmarshal(env.Record, &rec); err != nil {
+				// The frame was intact, so this is a record the leader also
+				// could not decode at replay; skip it the same way so both
+				// sides converge (the cursor still advances past it).
+				t.logf("replica: skipping undecodable record at %s: %v", c, err)
+			} else if err := t.cfg.Apply(rec); err != nil {
+				return fmt.Errorf("replica: applying record at %s: %w", c, err)
+			}
+		}
+		next := durable.Cursor{Segment: env.Segment, Offset: env.Offset}
+		caughtUp := env.Record == nil
+		t.mu.Lock()
+		t.st.Cursor = next
+		if env.Record != nil {
+			t.st.AppliedRecords++
+			t.st.LagRecords = maxInt64(0, env.TipOrd-env.Ord)
+		} else {
+			t.st.LagRecords = 0
+		}
+		t.st.LastErr = ""
+		t.mu.Unlock()
+		*c = next
+		if t.cfg.OnAdvance != nil {
+			t.cfg.OnAdvance(next, caughtUp)
+		}
+	}
+}
+
+func (t *Tailer) noteErr(err error) {
+	t.logf("replica: %v", err)
+	t.mu.Lock()
+	t.st.LastErr = err.Error()
+	t.mu.Unlock()
+}
+
+func (t *Tailer) noteLeader(url string) {
+	if url == "" {
+		return
+	}
+	t.mu.Lock()
+	t.st.LeaderURL = url
+	t.mu.Unlock()
+}
+
+func (t *Tailer) setConnected(v bool) {
+	t.mu.Lock()
+	t.st.Connected = v
+	t.mu.Unlock()
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// sleepCtx sleeps for d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}
+
+func backoff(d time.Duration) time.Duration {
+	d *= 2
+	if d > maxReconnectDelay {
+		return maxReconnectDelay
+	}
+	return d
+}

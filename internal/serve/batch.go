@@ -136,7 +136,7 @@ func (d *Dataset) StreamBatchQuery(ctx context.Context, req BatchRequest, cfg Co
 	pool := d.pool(k, cfg)
 	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
 	certain := 0
-	err = runOrdered(ctx, len(req.Points), batchWorkers,
+	err = runOrdered(ctx, len(req.Points), batchWorkers, cfg.streams,
 		func(i int) (PointResult, error) {
 			e, ent := pool.engine(req.Points[i])
 			if ent != nil {

@@ -236,6 +236,19 @@ func (j *journal) append(entity, typ string, payload interface{}) error {
 	return nil
 }
 
+// appendRaw re-journals one already-marshaled record verbatim — the
+// follower's write path: what the leader persisted is what the follower
+// persists, byte for byte, so a shared WAL prefix is identical on both
+// sides. Async durability class; the follower's replication cursor is only
+// persisted after an explicit Sync, which bounds redelivery, and every apply
+// is idempotent, which makes redelivery harmless.
+func (j *journal) appendRaw(rec durable.Record) error {
+	if err := j.store.Append(rec); err != nil {
+		return fmt.Errorf("%w: %v", ErrPersist, err)
+	}
+	return nil
+}
+
 // maybeCompact rotates + snapshots in the background once the active
 // segment outgrows the threshold. state is the server's snapshotState.
 func (j *journal) maybeCompact(state func() ([]byte, error)) {
@@ -504,26 +517,36 @@ func (s *Server) recoverDataset(pd persistedDataset) {
 		}
 		return
 	}
+	ds, err := buildRecoveredDataset(pd)
+	if err != nil {
+		s.logf("serve: recovery: dropping dataset %q: %v", pd.Name, err)
+		return
+	}
+	s.datasets[pd.Name] = ds
+}
+
+// buildRecoveredDataset decodes and fingerprint-verifies one journaled
+// registration into a servable Dataset. Pure — no Server state is read or
+// written — so both startup recovery and the follower apply path share it.
+//
+//cpvet:deterministic
+func buildRecoveredDataset(pd persistedDataset) (*Dataset, error) {
 	examples := make([]dataset.Example, len(pd.Examples))
 	for i, ex := range pd.Examples {
 		examples[i] = dataset.Example{Candidates: ex.Candidates, Label: ex.Label}
 	}
 	d, err := dataset.New(examples, pd.NumLabels)
 	if err != nil {
-		s.logf("serve: recovery: dropping dataset %q: %v", pd.Name, err)
-		return
+		return nil, err
 	}
 	kernel, err := pd.Kernel.Kernel()
 	if err != nil {
-		s.logf("serve: recovery: dropping dataset %q: %v", pd.Name, err)
-		return
+		return nil, err
 	}
 	if got := Fingerprint(d, kernel, pd.K); got != pd.Fingerprint {
-		s.logf("serve: recovery: dropping dataset %q: fingerprint mismatch (journal %.12s, rebuilt %.12s)",
-			pd.Name, pd.Fingerprint, got)
-		return
+		return nil, fmt.Errorf("fingerprint mismatch (journal %.12s, rebuilt %.12s)", pd.Fingerprint, got)
 	}
-	s.datasets[pd.Name] = &Dataset{
+	return &Dataset{
 		name:        pd.Name,
 		fingerprint: pd.Fingerprint,
 		data:        d,
@@ -532,7 +555,7 @@ func (s *Server) recoverDataset(pd persistedDataset) {
 		pools:       make(map[int]*enginePool),
 		persistable: true,
 		ready:       closedReady, // the journal is where it came from
-	}
+	}, nil
 }
 
 // closedReady marks registrations that were durable before this process
@@ -562,6 +585,21 @@ func (s *Server) recoverSession(ps persistedSession) {
 	if _, gone := s.sessions.tombstones[ps.ID]; gone {
 		return
 	}
+	sess, err := buildRecoveredSession(s, ds, ps)
+	if err != nil {
+		s.logf("serve: recovery: dropping session %s: %v", ps.ID, err)
+		return
+	}
+	s.sessions.live[ps.ID] = sess
+}
+
+// buildRecoveredSession re-materializes one persisted session (see
+// recoverSession for the suspended-state contract). It only constructs the
+// Session — no store maps are touched — so both startup recovery and the
+// follower apply path share it; the caller inserts under its own locking.
+//
+//cpvet:deterministic
+func buildRecoveredSession(s *Server, ds *Dataset, ps persistedSession) (*Session, error) {
 	sess := &Session{
 		id:       ps.ID,
 		store:    s.sessions,
@@ -598,11 +636,10 @@ func (s *Server) recoverSession(ps persistedSession) {
 		sess.suspended = true
 		sess.req = CleanRequest{Truth: ps.Truth, ValPoints: ps.ValPoints, K: ps.K, MaxSteps: ps.MaxSteps}
 		if _, err := validateCleanRequest(ds, sess.req); err != nil {
-			s.logf("serve: recovery: dropping session %s: %v", ps.ID, err)
-			return
+			return nil, err
 		}
 	}
-	s.sessions.live[ps.ID] = sess
+	return sess, nil
 }
 
 // applyRecord folds one WAL record into the recovering server. Tolerant and

@@ -144,7 +144,13 @@ func decodeStatus(err error) int {
 //	POST   /v1/clean/{id}/query         batch CP query under the session's pins
 //	                                    (same NDJSON streaming via Accept)
 //	DELETE /v1/clean/{id}               release the session
-//	GET    /v1/stats                    server-wide serving + WAL statistics
+//	GET    /v1/stats                    server-wide serving + WAL + replication statistics
+//	GET    /v1/wal/stream?from=S,O      (leader only) CRC-framed WAL ship stream
+//	GET    /v1/wal/snapshot             (leader only) newest snapshot for follower bootstrap
+//
+// A follower (Config.FollowURL) answers every read route from replicated
+// state; writes (dataset registration, session creation, stepping, release)
+// get 421 Misdirected Request with the leader's URL in the Leader header.
 //
 // Every route answers 503 once the server is closed (cpserve additionally
 // serves 503 at the listener while Open is still replaying the data
@@ -172,7 +178,7 @@ func Handler(s *Server) http.Handler {
 		}
 		ds, err := s.Register(req.Name, d, kernel, req.K)
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, infoFor(ds, false))
@@ -183,7 +189,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		ds, err := s.Dataset(r.PathValue("name"))
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, infoFor(ds, true))
@@ -211,7 +217,7 @@ func Handler(s *Server) http.Handler {
 			// 499 (nginx's "client closed request") goes nowhere, but keeps
 			// logs and metrics truthful — consistent with the clean-stream
 			// path, which likewise stops stepping on a dead connection.
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -230,7 +236,7 @@ func Handler(s *Server) http.Handler {
 			Truth: req.Truth, ValPoints: req.ValPoints, K: req.K, MaxSteps: req.MaxSteps,
 		})
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusCreated, sess.Status())
@@ -238,7 +244,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/clean/{id}/query", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.FindCleanSession(r.PathValue("id"))
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		var req struct {
@@ -260,7 +266,7 @@ func Handler(s *Server) http.Handler {
 		}
 		res, err := sess.Query(r.Context(), breq)
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -268,7 +274,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.FindCleanSession(r.PathValue("id"))
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, sess.Status())
@@ -276,7 +282,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("POST /v1/clean/{id}/next", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.FindCleanSession(r.PathValue("id"))
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		n := 1
@@ -289,7 +295,7 @@ func Handler(s *Server) http.Handler {
 		}
 		steps, done, err := sess.Next(n)
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		if steps == nil {
@@ -305,7 +311,7 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/clean/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		sess, err := s.FindCleanSession(r.PathValue("id"))
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		from := 0
@@ -349,7 +355,7 @@ func Handler(s *Server) http.Handler {
 			if !headerWritten {
 				// Nothing streamed yet — a proper status code is still possible
 				// (busy session → 409, bad from → 400, ...).
-				httpError(w, errStatus(err), err)
+				s.httpFail(w, err)
 				return
 			}
 			writeLine(map[string]string{"error": err.Error()})
@@ -370,16 +376,23 @@ func Handler(s *Server) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
+	if s.shipper != nil {
+		// Leader only: followers tail these to replicate the journal. The
+		// replica package handles its own status codes (it is transport, not
+		// part of the JSON error contract above).
+		mux.HandleFunc("GET /v1/wal/stream", s.shipper.ServeStream)
+		mux.HandleFunc("GET /v1/wal/snapshot", s.shipper.ServeSnapshot)
+	}
 	mux.HandleFunc("DELETE /v1/clean/{id}", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.ReleaseCleanSession(r.PathValue("id")); err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if err := s.availErr(); err != nil {
-			httpError(w, errStatus(err), err)
+			s.httpFail(w, err)
 			return
 		}
 		mux.ServeHTTP(w, r)
@@ -459,6 +472,19 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// httpFail is httpError with the status derived from the error, plus the
+// follower write-rejection contract: an ErrNotLeader response carries the
+// leader's base URL in the Leader header so a misdirected writer can retry
+// there without parsing the body.
+func (s *Server) httpFail(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNotLeader) {
+		if leader := s.LeaderURL(); leader != "" {
+			w.Header().Set("Leader", leader)
+		}
+	}
+	httpError(w, errStatus(err), err)
+}
+
 // statusClientClosedRequest is nginx's non-standard 499: the client closed
 // the connection before the response was ready. No client reads it; it keeps
 // access logs and metrics distinguishing "we failed" from "they left".
@@ -487,6 +513,10 @@ func errStatus(err error) int {
 		return http.StatusInternalServerError
 	case errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotLeader):
+		// 421 Misdirected Request: this replica cannot take writes; the
+		// Leader response header names where to retry.
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusBadRequest
 	}

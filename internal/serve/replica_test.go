@@ -1,0 +1,504 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// lazyWeb returns an httptest server whose handler can be installed (and
+// swapped) after the URL is known — a leader needs its own URL as
+// AdvertiseURL before Open, and a restarted follower keeps its URL.
+func lazyWeb(t *testing.T) (*httptest.Server, *atomic.Value) {
+	t.Helper()
+	var h atomic.Value
+	h.Store(http.Handler(http.NotFoundHandler()))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &h
+}
+
+// replicaPair is a leader and a follower tailing it, each behind a real HTTP
+// listener — the two-process topology, in-process.
+type replicaPair struct {
+	t           *testing.T
+	mutate      func(*Config)
+	leader      *Server
+	leaderWeb   *httptest.Server
+	follower    *Server
+	followerWeb *httptest.Server
+	followerH   *atomic.Value
+	followerDir string
+}
+
+func startReplicaPair(t *testing.T, mutate func(*Config)) *replicaPair {
+	t.Helper()
+	leaderWeb, leaderH := lazyWeb(t)
+	leader := openDurable(t, t.TempDir(), func(cfg *Config) {
+		cfg.AdvertiseURL = leaderWeb.URL
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	t.Cleanup(leader.Close) // Close is idempotent: tests may close earlier
+	leaderH.Store(Handler(leader))
+	p := &replicaPair{t: t, mutate: mutate, leader: leader, leaderWeb: leaderWeb, followerDir: t.TempDir()}
+	p.followerWeb, p.followerH = lazyWeb(t)
+	p.openFollower()
+	return p
+}
+
+func (p *replicaPair) openFollower() {
+	p.t.Helper()
+	p.follower = openDurable(p.t, p.followerDir, func(cfg *Config) {
+		cfg.FollowURL = p.leaderWeb.URL
+		if p.mutate != nil {
+			p.mutate(cfg)
+		}
+	})
+	p.t.Cleanup(p.follower.Close)
+	p.followerH.Store(Handler(p.follower))
+}
+
+// restartFollower kills the follower (graceful close: cursor saved) and
+// reopens it over the same data directory and URL — the kill-and-restart leg
+// of the lockstep acceptance criterion.
+func (p *replicaPair) restartFollower() {
+	p.t.Helper()
+	p.follower.Close()
+	p.openFollower()
+}
+
+// waitCaughtUp blocks until the follower's applied cursor equals the
+// leader's durable tip with zero reported lag — the replication offsets at
+// which lockstep comparisons are meaningful.
+func (p *replicaPair) waitCaughtUp() {
+	p.t.Helper()
+	// Flush the leader's group-commit window first: its durable tip must
+	// cover everything the schedule just wrote, or the comparison below
+	// would accept a follower that matches a stale tip.
+	if err := p.leader.journal.store.Sync(); err != nil {
+		p.t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		ls, fs := p.leader.Stats().Replication, p.follower.Stats().Replication
+		if ls != nil && fs != nil && fs.Connected && fs.LagRecords == 0 &&
+			fs.AppliedSegment == ls.TipSegment && fs.AppliedOffset == ls.TipOffset {
+			return
+		}
+		if time.Now().After(deadline) {
+			p.t.Fatalf("follower never caught up: leader=%+v follower=%+v", ls, fs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// fetch performs one request and returns status, headers, and body.
+func fetch(t *testing.T, base, method, path string, body interface{}, ndjson bool) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, base+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if ndjson {
+		req.Header.Set("Accept", "application/x-ndjson")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// compareBytes asserts leader and follower answer the given read request
+// with identical status and identical bytes — the lockstep contract.
+func (p *replicaPair) compareBytes(what, method, path string, body interface{}, ndjson bool) {
+	p.t.Helper()
+	lc, _, lb := fetch(p.t, p.leaderWeb.URL, method, path, body, ndjson)
+	fc, _, fb := fetch(p.t, p.followerWeb.URL, method, path, body, ndjson)
+	if lc != fc {
+		p.t.Fatalf("%s: leader status %d, follower status %d", what, lc, fc)
+	}
+	if !bytes.Equal(lb, fb) {
+		p.t.Fatalf("%s: answers diverged\nleader:   %s\nfollower: %s", what, lb, fb)
+	}
+}
+
+// registerOverHTTP registers a random dataset on the leader and returns it
+// (session creation needs the per-row candidate counts for a valid truth).
+func (p *replicaPair) registerOverHTTP(name string, seed int64) *dataset.Incomplete {
+	p.t.Helper()
+	d := randDataset(p.t, 36, 3, 2, 2, 0.7, seed)
+	code, _, b := fetch(p.t, p.leaderWeb.URL, http.MethodPost, "/v1/datasets", map[string]interface{}{
+		"name": name, "num_labels": 2, "examples": exampleJSONs(d), "k": 3,
+	}, false)
+	if code != http.StatusCreated {
+		p.t.Fatalf("register: status %d: %s", code, b)
+	}
+	return d
+}
+
+// startSession creates a clean session on the leader and returns its ID.
+func (p *replicaPair) startSession(name string, d *dataset.Incomplete, seed int64) string {
+	p.t.Helper()
+	truth := make([]int, d.N())
+	for i := range truth {
+		truth[i] = (i * 7) % d.Examples[i].M()
+	}
+	code, _, b := fetch(p.t, p.leaderWeb.URL, http.MethodPost, "/v1/datasets/"+name+"/clean", map[string]interface{}{
+		"truth": truth, "val_points": randPoints(4, 2, seed),
+	}, false)
+	if code != http.StatusCreated {
+		p.t.Fatalf("clean: status %d: %s", code, b)
+	}
+	var st SessionStatus
+	if err := json.Unmarshal(b, &st); err != nil {
+		p.t.Fatal(err)
+	}
+	return st.ID
+}
+
+// stepLeader advances the leader session by up to n steps and reports done.
+func (p *replicaPair) stepLeader(id string, n int) bool {
+	p.t.Helper()
+	code, _, b := fetch(p.t, p.leaderWeb.URL, http.MethodPost, fmt.Sprintf("/v1/clean/%s/next?steps=%d", id, n), nil, false)
+	if code != http.StatusOK {
+		p.t.Fatalf("next: status %d: %s", code, b)
+	}
+	var resp struct {
+		Done bool `json:"done"`
+	}
+	if err := json.Unmarshal(b, &resp); err != nil {
+		p.t.Fatal(err)
+	}
+	return resp.Done
+}
+
+// compareSessionStatus cross-checks the deterministic SessionStatus fields
+// (wall-clock stamps and leader-only state names excluded).
+func (p *replicaPair) compareSessionStatus(id string) {
+	p.t.Helper()
+	var ls, fs SessionStatus
+	lc, _, lb := fetch(p.t, p.leaderWeb.URL, http.MethodGet, "/v1/clean/"+id, nil, false)
+	fc, _, fb := fetch(p.t, p.followerWeb.URL, http.MethodGet, "/v1/clean/"+id, nil, false)
+	if lc != http.StatusOK || fc != http.StatusOK {
+		p.t.Fatalf("status fetch: leader %d, follower %d", lc, fc)
+	}
+	if err := json.Unmarshal(lb, &ls); err != nil {
+		p.t.Fatal(err)
+	}
+	if err := json.Unmarshal(fb, &fs); err != nil {
+		p.t.Fatal(err)
+	}
+	if ls.Steps != fs.Steps || ls.CertainFraction != fs.CertainFraction ||
+		ls.WorldsRemaining != fs.WorldsRemaining || ls.ExaminedHypotheses != fs.ExaminedHypotheses {
+		p.t.Fatalf("session status diverged:\nleader:   %+v\nfollower: %+v", ls, fs)
+	}
+}
+
+// TestReplicaLockstep is the acceptance harness: a randomized
+// register/step/query schedule where, at every replication offset the
+// follower reaches, each query answered by the follower is byte-identical to
+// the leader's answer — across worker counts 1/2/4/8 and across a follower
+// kill-and-restart that resumes from its durable cursor.
+func TestReplicaLockstep(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			p := startReplicaPair(t, func(cfg *Config) { cfg.Parallelism = workers })
+			rng := rand.New(rand.NewSource(int64(9000 + workers)))
+
+			d := p.registerOverHTTP("d", int64(100+workers))
+			p.waitCaughtUp()
+			p.compareBytes("dataset list", http.MethodGet, "/v1/datasets", nil, false)
+
+			id := p.startSession("d", d, int64(200+workers))
+			p.waitCaughtUp()
+
+			done := false
+			for round := 0; round < 6; round++ {
+				if round == 3 {
+					p.restartFollower()
+					p.waitCaughtUp()
+					if fs := p.follower.Stats().Replication; fs.Bootstraps != 0 {
+						t.Fatalf("restarted follower bootstrapped (%d) instead of resuming from its durable cursor", fs.Bootstraps)
+					}
+				}
+				if !done {
+					done = p.stepLeader(id, 1+rng.Intn(2))
+					p.waitCaughtUp()
+				}
+				pts := randPoints(2+rng.Intn(3), 2, rng.Int63())
+				body := map[string]interface{}{"points": pts}
+				p.compareBytes("batch query", http.MethodPost, "/v1/datasets/d/query", body, false)
+				p.compareBytes("batch query NDJSON", http.MethodPost, "/v1/datasets/d/query", body, true)
+				p.compareBytes("session query", http.MethodPost, "/v1/clean/"+id+"/query", body, false)
+				p.compareBytes("session query NDJSON", http.MethodPost, "/v1/clean/"+id+"/query", body, true)
+				p.compareSessionStatus(id)
+			}
+
+			// Drive to completion: a done session's step replay is
+			// byte-comparable end to end (no live driving involved).
+			for !done {
+				done = p.stepLeader(id, 50)
+			}
+			p.waitCaughtUp()
+			p.compareBytes("done-session stream replay", http.MethodGet, "/v1/clean/"+id+"/stream?from=0", nil, false)
+			p.compareSessionStatus(id)
+
+			// Release on the leader; the tombstone replicates and both sides
+			// answer the same 404 bytes.
+			if code, _, b := fetch(t, p.leaderWeb.URL, http.MethodDelete, "/v1/clean/"+id, nil, false); code != http.StatusNoContent {
+				t.Fatalf("release: status %d: %s", code, b)
+			}
+			p.waitCaughtUp()
+			p.compareBytes("released session status", http.MethodGet, "/v1/clean/"+id, nil, false)
+		})
+	}
+}
+
+// TestFollowerRejectsWrites pins the write gate: every mutating route on a
+// follower answers 421 Misdirected Request with the leader's advertised URL
+// in the Leader header, while reads keep working.
+func TestFollowerRejectsWrites(t *testing.T) {
+	p := startReplicaPair(t, nil)
+	d := p.registerOverHTTP("d", 51)
+	id := p.startSession("d", d, 52)
+	p.stepLeader(id, 1)
+	p.waitCaughtUp()
+
+	truth := make([]int, 36)
+	writes := []struct {
+		what, method, path string
+		body               interface{}
+	}{
+		{"register", http.MethodPost, "/v1/datasets", map[string]interface{}{
+			"name": "w", "num_labels": 2, "examples": exampleJSONs(randDataset(t, 8, 2, 2, 2, 0.5, 53)), "k": 1}},
+		{"clean create", http.MethodPost, "/v1/datasets/d/clean", map[string]interface{}{
+			"truth": truth, "val_points": randPoints(2, 2, 54)}},
+		{"step", http.MethodPost, "/v1/clean/" + id + "/next?steps=1", nil},
+		{"release", http.MethodDelete, "/v1/clean/" + id, nil},
+	}
+	for _, w := range writes {
+		code, hdr, body := fetch(t, p.followerWeb.URL, w.method, w.path, w.body, false)
+		if code != http.StatusMisdirectedRequest {
+			t.Fatalf("%s on follower: status %d (%s), want 421", w.what, code, body)
+		}
+		if got := hdr.Get("Leader"); got != p.leaderWeb.URL {
+			t.Fatalf("%s on follower: Leader header %q, want %q", w.what, got, p.leaderWeb.URL)
+		}
+		if !strings.Contains(string(body), "leader") {
+			t.Fatalf("%s on follower: body %q does not point at the leader", w.what, body)
+		}
+	}
+
+	// The same writes succeed on the leader (step), and reads still work on
+	// the follower after all those rejections.
+	if code, _, b := fetch(t, p.followerWeb.URL, http.MethodPost, "/v1/datasets/d/query",
+		map[string]interface{}{"points": randPoints(2, 2, 55)}, false); code != http.StatusOK {
+		t.Fatalf("read on follower after write rejections: status %d: %s", code, b)
+	}
+	// And the library-level sentinel maps as documented.
+	if status := errStatus(fmt.Errorf("wrap: %w", ErrNotLeader)); status != http.StatusMisdirectedRequest {
+		t.Fatalf("errStatus(ErrNotLeader) = %d, want 421", status)
+	}
+}
+
+// TestFollowerServesThroughLeaderDeath is the leader-disconnect half of the
+// NDJSON error-path satellite: with the leader killed mid-replication, a
+// follower NDJSON batch query still streams every line it owes — reads come
+// from replicated local state, never from the (dead) leader — and the
+// answers equal the leader's last-known answers at the shared offset.
+func TestFollowerServesThroughLeaderDeath(t *testing.T) {
+	p := startReplicaPair(t, func(cfg *Config) { cfg.Parallelism = 4 })
+	d := p.registerOverHTTP("d", 61)
+	id := p.startSession("d", d, 62)
+	p.stepLeader(id, 2)
+	p.waitCaughtUp()
+
+	pts := randPoints(5, 2, 63)
+	body := map[string]interface{}{"points": pts}
+	_, _, wantBatch := fetch(t, p.leaderWeb.URL, http.MethodPost, "/v1/datasets/d/query", body, true)
+	_, _, wantSess := fetch(t, p.leaderWeb.URL, http.MethodPost, "/v1/clean/"+id+"/query", body, true)
+
+	// Kill the leader mid-stream: tear every open connection (the follower's
+	// tail included) the way a dying process would, then shut down.
+	p.leaderWeb.CloseClientConnections()
+	p.leader.Close()
+	p.leaderWeb.Close()
+
+	for _, q := range []struct {
+		what, path string
+		want       []byte
+	}{
+		{"batch NDJSON", "/v1/datasets/d/query", wantBatch},
+		{"session NDJSON", "/v1/clean/" + id + "/query", wantSess},
+	} {
+		code, hdr, got := fetch(t, p.followerWeb.URL, http.MethodPost, q.path, body, true)
+		if code != http.StatusOK {
+			t.Fatalf("%s after leader death: status %d: %s", q.what, code, got)
+		}
+		if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("%s: Content-Type %q", q.what, ct)
+		}
+		lines := strings.Split(strings.TrimSpace(string(got)), "\n")
+		if len(lines) != len(pts)+1 {
+			t.Fatalf("%s: %d lines for %d points (want points+trailer): %s", q.what, len(lines), len(pts), got)
+		}
+		if !strings.Contains(lines[len(pts)], `"done":true`) {
+			t.Fatalf("%s: missing done trailer: %q", q.what, lines[len(pts)])
+		}
+		if !bytes.Equal(got, q.want) {
+			t.Fatalf("%s diverged from the leader's pre-death answer\nleader:   %s\nfollower: %s", q.what, q.want, got)
+		}
+	}
+	// The follower reports the outage instead of hiding it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fs := p.follower.Stats().Replication
+		if fs != nil && !fs.Connected && fs.LastApplyError != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never surfaced the leader outage: %+v", p.follower.Stats().Replication)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestNDJSONErrorLineLowestIndex mirrors TestRunOrderedLowestIndexError at
+// the HTTP layer: when a point mid-batch fails, the NDJSON stream carries
+// exactly the results before the lowest failing index and then one
+// deterministic {"error": ...} line — whichever worker schedule ran.
+func TestNDJSONErrorLineLowestIndex(t *testing.T) {
+	errLow := errors.New("low: point 1 exploded")
+	errHigh := errors.New("high: point 3 exploded")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		streamBatchNDJSON(w, func(yield func(int, PointResult) error) (BatchSummary, error) {
+			err := runOrdered(r.Context(), 6, 4, nil,
+				func(i int) (PointResult, error) {
+					switch i {
+					case 1:
+						return PointResult{}, errLow
+					case 3:
+						return PointResult{}, errHigh
+					}
+					return PointResult{Prediction: i}, nil
+				}, yield)
+			return BatchSummary{}, err
+		})
+	}))
+	defer srv.Close()
+	for trial := 0; trial < 25; trial++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trial %d: status %d (the stream was already live; errors must arrive in-band)", trial, resp.StatusCode)
+		}
+		lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("trial %d: %d lines %q, want result 0 then the error line", trial, len(lines), lines)
+		}
+		if !strings.Contains(lines[0], `"index":0`) {
+			t.Fatalf("trial %d: first line %q is not point 0", trial, lines[0])
+		}
+		var el struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(lines[1]), &el); err != nil {
+			t.Fatalf("trial %d: error line %q: %v", trial, lines[1], err)
+		}
+		if el.Error != errLow.Error() {
+			t.Fatalf("trial %d: error line reports %q, want the lowest-index error %q", trial, el.Error, errLow)
+		}
+	}
+}
+
+// TestFollowerApplyQueryRaceHammer (run under -race) hammers the follower's
+// one real concurrency seam: the tailer applying replicated steps into live
+// sessions while batch and session queries serve from the same engines.
+func TestFollowerApplyQueryRaceHammer(t *testing.T) {
+	p := startReplicaPair(t, func(cfg *Config) { cfg.Parallelism = 4 })
+	d := p.registerOverHTTP("d", 71)
+	id := p.startSession("d", d, 72)
+	p.waitCaughtUp()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the leader steps the session to done, one step at a time
+		defer wg.Done()
+		defer stop.Store(true)
+		for !p.stepLeader(id, 1) {
+		}
+	}()
+	pts := randPoints(3, 2, 73)
+	body := map[string]interface{}{"points": pts}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !stop.Load() {
+				var code int
+				var b []byte
+				switch g {
+				case 0:
+					code, _, b = fetch(t, p.followerWeb.URL, http.MethodPost, "/v1/clean/"+id+"/query", body, g%2 == 0)
+				case 1:
+					code, _, b = fetch(t, p.followerWeb.URL, http.MethodPost, "/v1/datasets/d/query", body, false)
+				default:
+					code, _, b = fetch(t, p.followerWeb.URL, http.MethodGet, "/v1/stats", nil, false)
+				}
+				if code != http.StatusOK {
+					t.Errorf("goroutine %d: status %d: %s", g, code, b)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// After the dust settles the two sides still agree byte for byte.
+	p.waitCaughtUp()
+	p.compareBytes("post-hammer session query", http.MethodPost, "/v1/clean/"+id+"/query", body, false)
+	p.compareBytes("post-hammer batch query", http.MethodPost, "/v1/datasets/d/query", body, true)
+}

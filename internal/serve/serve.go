@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/durable"
 	"repro/internal/knn"
+	"repro/internal/replica"
 )
 
 // ErrConflict marks a registration rejected because the name is taken by a
@@ -59,6 +61,12 @@ var ErrUnavailable = errors.New("serve: temporarily unavailable")
 // this is a degraded-durability signal for the operator, not a state the
 // server keeps running through silently. The HTTP layer maps it to 500.
 var ErrPersist = errors.New("serve: persistence failure")
+
+// ErrNotLeader marks a state-changing request (registration, session
+// creation, stepping, release) sent to a read-only follower. The HTTP layer
+// maps it to 421 Misdirected Request with the leader's URL in the Leader
+// response header — retry the same request there.
+var ErrNotLeader = errors.New("serve: not the leader")
 
 // Config tunes the server.
 type Config struct {
@@ -116,9 +124,27 @@ type Config struct {
 	// fsynced at least this often, and many writers share each fsync
 	// (0 = durable.DefaultSyncInterval, negative = fsync on every append).
 	WALSyncInterval time.Duration
+	// FollowURL turns the server into a read-only replica of the leader at
+	// this base URL: it tails the leader's WAL ship stream
+	// (GET /v1/wal/stream), applies every journaled record through the same
+	// code path recovery uses, re-journals it into its own DataDir (required
+	// in this mode), and serves batch/entropy queries and session reads from
+	// the replicated state. Writes are rejected with ErrNotLeader (HTTP 421
+	// + Leader header). SessionTTL is forced to "never" on a follower:
+	// expiry arrives only as replicated expire records, so leader and
+	// follower evict identically.
+	FollowURL string
+	// AdvertiseURL is the leader's client-facing base URL, echoed to
+	// followers on the ship stream (and from them to misdirected writers).
+	AdvertiseURL string
 	// Logf receives recovery and background-maintenance warnings
 	// (nil = log.Printf).
 	Logf func(format string, args ...interface{})
+
+	// streams points at the owning Server's runOrdered counters. Set by Open;
+	// the pointer rides along with every Config copy the request paths make,
+	// and is nil (counters off) for a Config built by hand in tests.
+	streams *streamCounters
 }
 
 // DefaultEngineCacheSize is the engine LRU capacity used when
@@ -200,12 +226,29 @@ type Server struct {
 
 	journal *journal // nil when Config.DataDir is empty
 	state   atomic.Int32
+
+	// streams aggregates runOrdered's fan-out counters across every batch
+	// query (dataset- and session-level) this server answers.
+	streams streamCounters
+
+	// Replication roles (both nil on an in-memory server): shipper serves
+	// this WAL to followers; tailer makes this server a follower of
+	// Config.FollowURL.
+	shipper *replica.Shipper
+	tailer  *replica.Tailer
+	// cursorPath is the follower's persisted-cursor file; lastSaved is the
+	// last cursor written there. Both are touched only by Open/Close and the
+	// tailer's single OnAdvance goroutine.
+	cursorPath string
+	lastSaved  durable.Cursor
 }
 
-// NewServer builds an empty in-memory server: Config.DataDir is ignored and
-// nothing survives the process. Use Open for a durable server.
+// NewServer builds an empty in-memory server: Config.DataDir and
+// Config.FollowURL are ignored and nothing survives the process. Use Open
+// for a durable server or a follower.
 func NewServer(cfg Config) *Server {
 	cfg.DataDir = ""
+	cfg.FollowURL = ""
 	s, err := Open(cfg)
 	if err != nil {
 		// Open without a data directory touches no I/O and cannot fail.
@@ -224,12 +267,23 @@ func NewServer(cfg Config) *Server {
 // never a startup failure.
 func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	follower := cfg.FollowURL != ""
+	if follower {
+		if cfg.DataDir == "" {
+			return nil, fmt.Errorf("serve: follower mode (FollowURL) requires a DataDir to journal replicated records")
+		}
+		// Expiry must arrive only as replicated expire records; a follower
+		// running its own idle clock would evict sessions the leader still
+		// has, and the two would answer session lookups differently.
+		cfg.SessionTTL = -1
+	}
 	s := &Server{
 		cfg:      cfg,
 		logf:     cfg.Logf,
 		datasets: make(map[string]*Dataset),
 		sessions: newSessionStore(cfg.MaxCleanSessions, cfg.SessionTTL),
 	}
+	s.cfg.streams = &s.streams
 	if cfg.DataDir == "" {
 		s.state.Store(stateReady)
 		return s, nil
@@ -250,6 +304,28 @@ func Open(cfg Config) (*Server, error) {
 	// lifetime.
 	st.ReleaseRecovered()
 	s.journal = &journal{store: st, logf: cfg.Logf, segmentBytes: cfg.WALSegmentBytes}
+	if follower {
+		// Resume tailing from the persisted cursor: everything before it was
+		// applied AND re-journaled locally (the local replay above already
+		// rebuilt that state), so the leader only re-ships what is missing.
+		s.cursorPath = filepath.Join(cfg.DataDir, replica.CursorFileName)
+		cursor, _, err := replica.LoadCursor(s.cursorPath)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.lastSaved = cursor
+		s.state.Store(stateReady)
+		s.tailer = replica.StartTailer(replica.TailerConfig{
+			BaseURL:       cfg.FollowURL,
+			Apply:         s.applyShipped,
+			ApplySnapshot: s.applyReplicaSnapshot,
+			OnAdvance:     s.noteApplied,
+			Logf:          cfg.Logf,
+		}, cursor)
+		return s, nil
+	}
+	s.shipper = &replica.Shipper{Store: st, Advertise: cfg.AdvertiseURL, Logf: cfg.Logf}
 	s.sessions.maybeStartReaper()
 	s.state.Store(stateReady)
 	return s, nil
@@ -269,7 +345,22 @@ func (s *Server) availErr() error {
 // the group-commit window. Safe to call more than once; afterwards every
 // request answers ErrUnavailable (HTTP 503).
 func (s *Server) Close() {
-	s.state.Store(stateClosed)
+	if !s.state.CompareAndSwap(stateReady, stateClosed) {
+		return // already closed
+	}
+	if s.tailer != nil {
+		// Stop tailing first, then persist the final applied cursor behind one
+		// last fsync, so a restart resumes exactly where the tail stopped
+		// instead of re-fetching (idempotently) from the last tip save.
+		s.tailer.Close()
+		if c := s.tailer.Status().Cursor; !c.IsZero() && c != s.lastSaved {
+			if err := s.journal.store.Sync(); err != nil {
+				s.logf("serve: follower shutdown: syncing replicated journal: %v", err)
+			} else if err := replica.SaveCursor(s.cursorPath, c); err != nil {
+				s.logf("serve: follower shutdown: persisting cursor: %v", err)
+			}
+		}
+	}
 	s.sessions.close()
 	if s.journal != nil {
 		s.journal.close()
@@ -313,6 +404,9 @@ type Dataset struct {
 // (same fingerprint, kernel, K) under an existing name is idempotent;
 // conflicting re-registration is an error.
 func (s *Server) Register(name string, d *dataset.Incomplete, kernel knn.Kernel, k int) (*Dataset, error) {
+	if err := s.writeGate(); err != nil {
+		return nil, err
+	}
 	if name == "" {
 		return nil, fmt.Errorf("serve: dataset name required")
 	}

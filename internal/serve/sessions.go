@@ -137,6 +137,9 @@ func (s *Server) StartCleanSession(name string, req CleanRequest) (*Session, err
 	if err := s.availErr(); err != nil {
 		return nil, err
 	}
+	if err := s.writeGate(); err != nil {
+		return nil, err
+	}
 	ds, err := s.Dataset(name)
 	if err != nil {
 		return nil, err
@@ -169,6 +172,11 @@ func (s *Server) FindCleanSession(id string) (*Session, error) {
 // a deleted ID subsequently answers ErrNotFound (deliberate release, unlike
 // expiry's ErrGone).
 func (s *Server) ReleaseCleanSession(id string) error {
+	// On a follower the release must happen on the leader and arrive as a
+	// replicated record, or the two would disagree about the ID's fate.
+	if err := s.writeGate(); err != nil {
+		return err
+	}
 	return s.sessions.release(id)
 }
 
@@ -624,7 +632,12 @@ func (sess *Session) drive(from int, fn func(CleanStep) bool) (done bool, err er
 	if failed != nil {
 		return false, failed
 	}
-	// Live steps.
+	// Live steps mutate the session — follower reads stop here: history
+	// replay above (and done/failed summaries) served fine, but stepping
+	// belongs to the leader, whose journal feeds this replica.
+	if err := sess.server.writeGate(); err != nil {
+		return false, err
+	}
 	c, err := sess.ensureBuilt()
 	if err != nil {
 		return false, err

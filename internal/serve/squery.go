@@ -267,7 +267,7 @@ func (sess *Session) StreamQuery(ctx context.Context, req BatchRequest, yield fu
 	cfg := sess.server.cfg.withDefaults()
 	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
 	certain := 0
-	err := runOrdered(ctx, len(req.Points), batchWorkers,
+	err := runOrdered(ctx, len(req.Points), batchWorkers, cfg.streams,
 		func(i int) (PointResult, error) {
 			ent := q.entry(req.Points[i], k)
 			return q.queryPoint(ent, hist, req.UseMC, sweepWorkers)

@@ -3,6 +3,7 @@ package serve
 import (
 	"repro/internal/core"
 	"repro/internal/durable"
+	"repro/internal/replica"
 )
 
 // ServerStats is the GET /v1/stats payload: registry and session counts,
@@ -24,6 +25,68 @@ type ServerStats struct {
 	Sweep        core.SweepStats `json:"sweep"`
 	// WAL is present only when the server runs with a data directory.
 	WAL *durable.Metrics `json:"wal,omitempty"`
+	// Streams totals runOrdered's ordered fan-out counters across every
+	// batch query (dataset- and session-level, buffered and NDJSON alike).
+	Streams StreamStats `json:"streams"`
+	// Replication is present on a durable leader (role "leader": ship-stream
+	// counters and the durable WAL tip) and on a follower (role "follower":
+	// applied cursor, record lag behind the leader, last apply error).
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is the /v1/stats replication block.
+type ReplicationStats struct {
+	// Role is "leader" (shipping this WAL to followers) or "follower"
+	// (tailing FollowURL).
+	Role string `json:"role"`
+	// Follower side.
+	FollowURL      string `json:"follow_url,omitempty"`
+	LeaderURL      string `json:"leader_url,omitempty"`
+	Connected      bool   `json:"connected,omitempty"`
+	AppliedSegment int    `json:"applied_segment,omitempty"`
+	AppliedOffset  int64  `json:"applied_offset,omitempty"`
+	AppliedRecords int64  `json:"applied_records,omitempty"`
+	// LagRecords is the record distance to the leader's durable frontier as
+	// of the last envelope (-1 before the first one arrives).
+	LagRecords     int64  `json:"lag_records"`
+	Bootstraps     int64  `json:"bootstraps,omitempty"`
+	LastApplyError string `json:"last_apply_error,omitempty"`
+	// Leader side: the durable WAL tip followers can have caught up to, plus
+	// ship-stream counters.
+	TipSegment int                `json:"tip_segment,omitempty"`
+	TipOffset  int64              `json:"tip_offset,omitempty"`
+	Ship       *replica.ShipStats `json:"ship,omitempty"`
+}
+
+// replicationStats assembles the role-appropriate replication block (nil on
+// an in-memory server).
+func (s *Server) replicationStats() *ReplicationStats {
+	switch {
+	case s.tailer != nil:
+		ts := s.tailer.Status()
+		return &ReplicationStats{
+			Role:           "follower",
+			FollowURL:      s.cfg.FollowURL,
+			LeaderURL:      ts.LeaderURL,
+			Connected:      ts.Connected,
+			AppliedSegment: ts.Cursor.Segment,
+			AppliedOffset:  ts.Cursor.Offset,
+			AppliedRecords: ts.AppliedRecords,
+			LagRecords:     ts.LagRecords,
+			Bootstraps:     ts.Bootstraps,
+			LastApplyError: ts.LastErr,
+		}
+	case s.shipper != nil:
+		tip, _ := s.journal.store.SyncedTip()
+		ship := s.shipper.Stats()
+		return &ReplicationStats{
+			Role:       "leader",
+			TipSegment: tip.Segment,
+			TipOffset:  tip.Offset,
+			Ship:       &ship,
+		}
+	}
+	return nil
 }
 
 // Stats snapshots the server's serving and durability counters.
@@ -52,6 +115,8 @@ func (s *Server) Stats() ServerStats {
 		m := s.journal.store.Metrics()
 		st.WAL = &m
 	}
+	st.Streams = s.streams.snapshot()
+	st.Replication = s.replicationStats()
 	return st
 }
 

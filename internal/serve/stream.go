@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 )
 
 // pointOutcome is one worker's answer for one point index.
@@ -10,6 +11,59 @@ type pointOutcome struct {
 	idx int
 	r   PointResult
 	err error
+}
+
+// streamCounters aggregates runOrdered's fan-out activity server-wide, for
+// /v1/stats: batches run, results yielded in order, results that arrived
+// ahead of a lower pending index (the reorder buffer earning its keep), and
+// batches that ended in an error. All methods are nil-safe so code paths
+// without a server (direct Dataset.BatchQuery calls in tests) pay nothing.
+type streamCounters struct {
+	batches   atomic.Int64
+	points    atomic.Int64
+	reordered atomic.Int64
+	errors    atomic.Int64
+}
+
+func (c *streamCounters) batch() {
+	if c != nil {
+		c.batches.Add(1)
+	}
+}
+
+func (c *streamCounters) yielded() {
+	if c != nil {
+		c.points.Add(1)
+	}
+}
+
+func (c *streamCounters) outOfOrder() {
+	if c != nil {
+		c.reordered.Add(1)
+	}
+}
+
+func (c *streamCounters) failed() {
+	if c != nil {
+		c.errors.Add(1)
+	}
+}
+
+// StreamStats is the wire form of the runOrdered counters in /v1/stats.
+type StreamStats struct {
+	Batches       int64 `json:"batches"`
+	PointsYielded int64 `json:"points_yielded"`
+	Reordered     int64 `json:"reordered"`
+	Errors        int64 `json:"errors"`
+}
+
+func (c *streamCounters) snapshot() StreamStats {
+	return StreamStats{
+		Batches:       c.batches.Load(),
+		PointsYielded: c.points.Load(),
+		Reordered:     c.reordered.Load(),
+		Errors:        c.errors.Load(),
+	}
 }
 
 // runOrdered fans point indices [0, n) out to `workers` goroutines and
@@ -26,9 +80,14 @@ type pointOutcome struct {
 // fan-out stops handing out new points, in-flight workers are cancelled, and
 // the indices already yielded stay yielded. A ctx error takes precedence in
 // the return value so callers can map disconnects distinctly.
-func runOrdered(ctx context.Context, n, workers int, query func(i int) (PointResult, error), yield func(i int, r PointResult) error) error {
+func runOrdered(ctx context.Context, n, workers int, sc *streamCounters, query func(i int) (PointResult, error), yield func(i int, r PointResult) error) error {
+	sc.batch()
 	if n == 0 {
-		return ctx.Err()
+		if err := ctx.Err(); err != nil {
+			sc.failed()
+			return err
+		}
+		return nil
 	}
 	if workers > n {
 		workers = n
@@ -76,6 +135,9 @@ func runOrdered(ctx context.Context, n, workers int, query func(i int) (PointRes
 			if o.err != nil {
 				erred = true
 			}
+			if o.idx != next {
+				sc.outOfOrder()
+			}
 			pending[o.idx] = o
 			for {
 				po, ok := pending[next]
@@ -93,6 +155,7 @@ func runOrdered(ctx context.Context, n, workers int, query func(i int) (PointRes
 					firstErr = err
 					break
 				}
+				sc.yielded()
 				next++
 			}
 		case <-ctx.Done():
@@ -110,7 +173,11 @@ func runOrdered(ctx context.Context, n, workers int, query func(i int) (PointRes
 	close(work)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
+		sc.failed()
 		return err
+	}
+	if firstErr != nil {
+		sc.failed()
 	}
 	return firstErr
 }

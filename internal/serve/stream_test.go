@@ -27,7 +27,7 @@ func TestRunOrderedStreamsBeforeCompletion(t *testing.T) {
 	var order []int
 	done := make(chan error, 1)
 	go func() {
-		done <- runOrdered(context.Background(), 4, 2,
+		done <- runOrdered(context.Background(), 4, 2, nil,
 			func(i int) (PointResult, error) {
 				if i == 3 {
 					<-release // the slow last point
@@ -66,7 +66,7 @@ func TestRunOrderedLowestIndexError(t *testing.T) {
 	errHigh := errors.New("high")
 	for trial := 0; trial < 50; trial++ {
 		var yielded []int
-		err := runOrdered(context.Background(), 6, 4,
+		err := runOrdered(context.Background(), 6, 4, nil,
 			func(i int) (PointResult, error) {
 				switch i {
 				case 1:
@@ -94,7 +94,7 @@ func TestRunOrderedLowestIndexError(t *testing.T) {
 func TestRunOrderedYieldErrorStops(t *testing.T) {
 	errWrite := errors.New("client went away")
 	var yielded []int
-	err := runOrdered(context.Background(), 8, 3,
+	err := runOrdered(context.Background(), 8, 3, nil,
 		func(i int) (PointResult, error) { return PointResult{Prediction: i}, nil },
 		func(i int, r PointResult) error {
 			yielded = append(yielded, i)

@@ -102,6 +102,9 @@ func DefaultConfig() *Config {
 			// span queues; lock discipline applies to core now that it spawns.
 			"repro/internal/core": true,
 			"repro/cmd/cpserve":   true,
+			// WAL shipping: the Tailer's status mutex and the ship loop's use
+			// of the store's frontier signal.
+			"repro/internal/replica": true,
 		},
 		HotPathPkgs: map[string]bool{
 			"repro/internal/serve":   true,
@@ -109,7 +112,8 @@ func DefaultConfig() *Config {
 			"repro/internal/segtree": true,
 			// The sweep inner loop is the hottest path in the repository;
 			// nothing may block under a mutex there.
-			"repro/internal/core": true,
+			"repro/internal/core":    true,
+			"repro/internal/replica": true,
 		},
 		BlockingCalls: map[string]bool{
 			"time.Sleep":          true,
@@ -132,6 +136,8 @@ func DefaultConfig() *Config {
 			// the spawn site) — the sweep returns only after every span lands.
 			"repro/internal/core": true,
 			"repro/cmd/cpserve":   true,
+			// The Tailer's run goroutine is WaitGroup-joined by Close.
+			"repro/internal/replica": true,
 		},
 		// The canonical serve-layer hierarchy: Server.mu before the session
 		// store's mu before any Session.mu (see docs/ARCHITECTURE.md,
