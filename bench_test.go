@@ -391,6 +391,49 @@ func BenchmarkBatchQ2_ParallelSweep(b *testing.B) {
 	}
 }
 
+// --- Sweep-plan cache ---------------------------------------------------------
+
+// benchSweepPlanCache measures the span-parallel SS-DC sweep with the
+// engine's plan cache either cold (pins reset before every sweep, so each
+// iteration pays the full O(N) prefix re-plan) or warm (unchanged pin state,
+// so each iteration reuses the cached span plan verbatim). The delta between
+// the two rows is the prefix walk the plan cache removes; plan-hits/op and
+// plan-misses/op come from the engine's plan-cache counters and pin the cache
+// behavior the rows claim (warm ≥ 1 hit/op, cold ≥ 1 miss/op).
+func benchSweepPlanCache(b *testing.B, warm bool) {
+	inst := benchInstance(4000, 5, 2)
+	e := core.NewEngineFromInstance(inst)
+	pool, err := core.NewScratchPool(e, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.SweepConfig{Workers: 4}
+	// Prime the cache so the warm run's first iteration is already a hit.
+	if _, _, err := e.SweepCounts(3, false, cfg, pool); err != nil {
+		b.Fatal(err)
+	}
+	start := e.PlanStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !warm {
+			// Bump the pin generation: the cached plan is stale and the sweep
+			// re-plans from scratch.
+			e.ResetPins()
+		}
+		if _, _, err := e.SweepCounts(3, false, cfg, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := e.PlanStats()
+	b.ReportMetric(float64(st.Hits-start.Hits)/float64(b.N), "plan-hits/op")
+	b.ReportMetric(float64(st.Misses-start.Misses)/float64(b.N), "plan-misses/op")
+}
+
+func BenchmarkSweepPlanCache_Cold(b *testing.B) { benchSweepPlanCache(b, false) }
+func BenchmarkSweepPlanCache_Warm(b *testing.B) { benchSweepPlanCache(b, true) }
+
 // --- CPClean ablations --------------------------------------------------------
 
 func benchCPClean(b *testing.B, opts cleaning.Options) {

@@ -5,6 +5,7 @@
 //	cpserve -addr :8080 [-train dirty.csv -name mydata] [-k 3]
 //	        [-max-candidates 125] [-parallelism 0] [-sweep-workers 0]
 //	        [-engine-cache 256] [-max-engine-bytes 1073741824]
+//	        [-result-cache-bytes 67108864]
 //	        [-max-sessions 64] [-session-ttl 15m]
 //	        [-max-register-bytes 33554432] [-max-body-bytes 8388608]
 //	        [-data-dir /var/lib/cpserve] [-wal-segment-bytes 8388608]
@@ -63,7 +64,8 @@
 //	                                    also streams NDJSON under the same Accept header
 //	DELETE /v1/clean/{id}               release the session
 //	GET    /v1/stats                    serving + WAL statistics (engine caches and byte
-//	                                    budgets, query-memo reuse, fsync count/latency,
+//	                                    budgets, query-memo reuse, result-cache hit/miss/
+//	                                    bytes counters, fsync count/latency,
 //	                                    segment/snapshot counts, last replay duration)
 //
 // Registering with k omitted or 0 defaults to min(3, N). Errors are JSON
@@ -111,6 +113,7 @@ func main() {
 	sweepWorkers := flag.Int("sweep-workers", 0, "span-parallel workers per SS-DC sweep, budgeted against -parallelism (0 or 1 = sequential)")
 	engineCache := flag.Int("engine-cache", 0, "per-dataset engine LRU size (0 = default, <0 = off)")
 	maxEngineBytes := flag.Int64("max-engine-bytes", 0, "byte budget per (dataset, K) engine cache (0 = default 1GiB, <0 = unlimited)")
+	resultCacheBytes := flag.Int64("result-cache-bytes", 64<<20, "byte budget for the server-wide query result cache (≤0 = disabled)")
 	maxSessions := flag.Int("max-sessions", 0, "cap on live clean sessions (0 = default, <0 = unlimited)")
 	sessionTTL := flag.Duration("session-ttl", 0, "evict clean sessions idle this long (0 = default, <0 = never)")
 	maxRegisterBytes := flag.Int64("max-register-bytes", 0, "dataset registration body cap (0 = default, <0 = unlimited)")
@@ -153,6 +156,7 @@ func main() {
 			SweepWorkers:     *sweepWorkers,
 			EngineCacheSize:  *engineCache,
 			MaxEngineBytes:   *maxEngineBytes,
+			ResultCacheBytes: *resultCacheBytes,
 			MaxCleanSessions: *maxSessions,
 			SessionTTL:       *sessionTTL,
 			MaxRegisterBytes: *maxRegisterBytes,

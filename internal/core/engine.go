@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 	"sort"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/knn"
@@ -47,6 +48,14 @@ type Engine struct {
 	// bounded, and a cache older than its tail falls back to a full rescan.
 	pinLog     []PinEvent
 	pinLogBase uint64
+	// planMu guards the sweep-plan cache. Queries may share an unpinned
+	// engine across goroutines, so plan lookups lock; pin mutations are never
+	// concurrent with queries (the SetPin contract), so a plan revalidated at
+	// the current generation stays valid for the whole query and its spans
+	// can be read lock-free by scan workers.
+	planMu    sync.Mutex
+	plans     map[planKey]*SweepPlan // guarded by planMu
+	planStats PlanStats              // guarded by planMu
 }
 
 // PinEvent is one pin mutation: row's pin moved from Old to New (−1 = no

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// comparePlan fails unless (gotES, got) and (wantES, want) are
+// field-for-field identical plans: same transition, same span boundaries,
+// same zero-row counts, same α snapshots.
+func comparePlan(t *testing.T, label string, gotES int, got []sweepSpan, wantES int, want []sweepSpan) {
+	t.Helper()
+	if gotES != wantES {
+		t.Fatalf("%s: emitStart=%d want %d", label, gotES, wantES)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d spans want %d", label, len(got), len(want))
+	}
+	for s := range want {
+		g, w := got[s], want[s]
+		if g.lo != w.lo || g.hi != w.hi || g.zeroRows != w.zeroRows {
+			t.Fatalf("%s: span %d = [%d,%d] zr=%d want [%d,%d] zr=%d",
+				label, s, g.lo, g.hi, g.zeroRows, w.lo, w.hi, w.zeroRows)
+		}
+		for i := range w.alpha {
+			if g.alpha[i] != w.alpha[i] {
+				t.Fatalf("%s: span %d alpha[%d]=%d want %d", label, s, i, g.alpha[i], w.alpha[i])
+			}
+		}
+	}
+}
+
+// TestPlanCacheMatchesPlanSpans is the exactness property of the plan cache:
+// across random pin/unpin/reset sequences, every planFor answer — whether it
+// came back verbatim, repaired, or rebuilt — must match an uncached planSpans
+// run under the current pins field-for-field, and must carry the current pin
+// generation (a stale plan is never served across a generation bump).
+func TestPlanCacheMatchesPlanSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	gens := []func(*rand.Rand, int, int, int) *Instance{randomInstance, tiedInstance, nearZeroInstance}
+	var total PlanStats
+	for trial := 0; trial < 40; trial++ {
+		inst := gens[trial%len(gens)](rng, 8+rng.Intn(16), 4, 2+rng.Intn(2))
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		n := len(e.order)
+		// A mix of full-window and sub-window keys: sub-windows whose hi
+		// lands below a pinned row's span exercise the verbatim-revalidation
+		// tier, full windows the repair/rebuild tiers.
+		keys := []planKey{
+			{k: k, lo: 0, hi: n - 1, numSpans: 4},
+			{k: k, lo: 0, hi: n - 1, numSpans: 7},
+			{k: k, lo: 0, hi: n / 2, numSpans: 3},
+			{k: k, lo: n / 4, hi: n - 1, numSpans: 2},
+		}
+		for step := 0; step < 8; step++ {
+			if step > 0 {
+				applyRandomPinOp(rng, e)
+			}
+			for _, key := range keys {
+				p := e.planFor(key.k, key.lo, key.hi, key.numSpans)
+				if p.gen != e.PinGeneration() {
+					t.Fatalf("trial %d step %d: plan served at gen %d, engine at %d",
+						trial, step, p.gen, e.PinGeneration())
+				}
+				wantES, want := e.planSpans(key.k, key.lo, key.hi, key.numSpans, -1)
+				comparePlan(t, "planFor vs planSpans", p.emitStart, p.spans, wantES, want)
+			}
+		}
+		st := e.PlanStats()
+		if st.Hits+st.Partials+st.Misses != int64(len(keys)*8) {
+			t.Fatalf("trial %d: stats %+v do not sum to %d lookups", trial, st, len(keys)*8)
+		}
+		total.Add(st)
+	}
+	// The random walk must actually have exercised every tier; a vanishing
+	// count means a branch went dead, not that the property got easier.
+	if total.Hits == 0 || total.Partials == 0 || total.Misses == 0 {
+		t.Fatalf("tiers not all exercised: %+v", total)
+	}
+}
+
+// TestPlanCacheRepeatAndReset pins the two ends of the invalidation
+// spectrum: an unchanged generation serves the identical plan object as a
+// pure hit, and a ResetPins always forces a full re-plan.
+func TestPlanCacheRepeatAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	inst := randomInstance(rng, 30, 4, 2)
+	e := NewEngineFromInstance(inst)
+	n := len(e.order)
+
+	p1 := e.planFor(2, 0, n-1, 4)
+	p2 := e.planFor(2, 0, n-1, 4)
+	if p1 != p2 {
+		t.Fatal("repeat lookup at the same generation returned a different plan object")
+	}
+	if st := e.PlanStats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("expected 1 hit + 1 miss, got %+v", st)
+	}
+
+	e.ResetPins()
+	p3 := e.planFor(2, 0, n-1, 4)
+	if st := e.PlanStats(); st.Misses != 2 {
+		t.Fatalf("ResetPins must force a re-plan, got %+v", st)
+	}
+	wantES, want := e.planSpans(2, 0, n-1, 4, -1)
+	comparePlan(t, "post-reset", p3.emitStart, p3.spans, wantES, want)
+
+	// Overflow the bounded pin log between lookups: the plan must rebuild
+	// (miss), never serve stale snapshots.
+	row := 0
+	for i := 0; i < maxPinLog+8; i++ {
+		e.SetPin(row, 0)
+		e.SetPin(row, -1)
+	}
+	p4 := e.planFor(2, 0, n-1, 4)
+	wantES, want = e.planSpans(2, 0, n-1, 4, -1)
+	comparePlan(t, "post-overflow", p4.emitStart, p4.spans, wantES, want)
+	if p4.gen != e.PinGeneration() {
+		t.Fatalf("post-overflow plan at gen %d, engine at %d", p4.gen, e.PinGeneration())
+	}
+}
+
+// TestPlanSpansKnownEmitStart checks the emitStart threading satellite: a
+// planSpans run that is handed the transition from a sibling plan at the
+// same generation must produce the identical plan without re-deriving it.
+func TestPlanSpansKnownEmitStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomInstance(rng, 10+rng.Intn(20), 4, 2)
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		for step := 0; step < 3; step++ {
+			if step > 0 {
+				applyRandomPinOp(rng, e)
+			}
+			n := len(e.order)
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			numSpans := 1 + rng.Intn(5)
+			wantES, want := e.planSpans(k, lo, hi, numSpans, -1)
+			gotES, got := e.planSpans(k, lo, hi, numSpans, wantES)
+			comparePlan(t, "knownEmitStart", gotES, got, wantES, want)
+		}
+	}
+}
+
+// TestSubSlicePlanMatchesPlanSpans is the exactness property of plan
+// sub-slicing: for any sub-window and span count, slicing a cached
+// full-window plan must equal a fresh planSpans of the window field for
+// field — the guarantee that lets Retained seed windowed delta replays from
+// cached snapshots.
+func TestSubSlicePlanMatchesPlanSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	gens := []func(*rand.Rand, int, int, int) *Instance{randomInstance, tiedInstance, nearZeroInstance}
+	for trial := 0; trial < 40; trial++ {
+		inst := gens[trial%len(gens)](rng, 8+rng.Intn(20), 4, 2+rng.Intn(2))
+		k := 1 + rng.Intn(3)
+		e := NewEngineFromInstance(inst)
+		for step := 0; step < 4; step++ {
+			if step > 0 {
+				applyRandomPinOp(rng, e)
+			}
+			n := len(e.order)
+			for _, fullSpans := range []int{2, 5, 9} {
+				full := e.planFor(k, 0, n-1, fullSpans)
+				for w := 0; w < 6; w++ {
+					lo := rng.Intn(n)
+					hi := lo + rng.Intn(n-lo)
+					numSpans := 1 + rng.Intn(6)
+					gotES, got := e.subSlicePlan(full, lo, hi, numSpans)
+					wantES, want := e.planSpans(k, lo, hi, numSpans, -1)
+					comparePlan(t, "subSlice", gotES, got, wantES, want)
+				}
+			}
+		}
+	}
+}

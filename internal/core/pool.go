@@ -41,6 +41,7 @@ func (e *Engine) ApproxBytes() int64 {
 	b += n * (8 + 8)     // firstPos, lastPos
 	b += int64(len(e.pinLog)) * 12
 	b += int64(e.numLabels) * 8 // labelLen
+	b += e.planBytes()          // cached sweep plans (α snapshots)
 	return b
 }
 

@@ -48,7 +48,16 @@ type Retained struct {
 	gen      uint64
 	counts   []float64 // memoized Q2 fractions under pin generation gen
 	relevant []bool    // relevance mask under generation gen
-	terms    [][]term  // per scan position, the recorded support terms
+	// terms/offs hold every scan position's recorded support terms in one
+	// flat slice: position pos's stream is terms[offs[pos]:offs[pos+1]].
+	// Replacing the old per-position [][]term drops a slice header plus its
+	// capacity slack per position, makes the re-sum a single linear walk, and
+	// lets a window rescan splice in with one suffix shift.
+	terms []term
+	offs  []int // len(order)+1 stream boundaries
+
+	// results buffers the flat span outputs across rescans (capacity reuse).
+	results []spanResult
 
 	// sweep selects the span-parallel scan (sweep.go) for rescans whose
 	// window is wide enough to split; requires a scratch pool (each worker
@@ -105,7 +114,7 @@ func NewRetained(e *Engine, k int, useMC bool, scratches *ScratchPool) (*Retaine
 		useMC:  useMC,
 		pool:   scratches,
 		counts: make([]float64, e.numLabels),
-		terms:  make([][]term, len(e.order)),
+		offs:   make([]int, len(e.order)+1),
 	}, nil
 }
 
@@ -224,14 +233,15 @@ func (r *Retained) deltaWindow(events []PinEvent) (lo, hi int, usable bool) {
 // terms in scan order. Positions outside the window keep their retained
 // terms — the callers guarantee those are bit-identical under the current
 // pins. rescan(0, len(order)−1) is a full sweep. When a sweep config is set
-// (ConfigureSweep) and the window splits into at least two spans, the window
-// is scanned span-parallel; either way the term streams — and therefore the
-// re-summed counts — are bit-identical.
+// (ConfigureSweep) and the engine is large enough for span parallelism, the
+// window runs through the engine's plan cache (rescanPlanned); either way
+// the term streams — and therefore the re-summed counts — are bit-identical.
 func (r *Retained) rescan(lo, hi int) {
 	e := r.e
-	workers, numSpans := r.sweep.planSize(e.N(), hi-lo+1)
-	if workers > 1 && numSpans >= 2 && r.pool != nil {
-		r.rescanSpans(lo, hi, workers, numSpans)
+	total := len(e.order)
+	workers, fullSpans := r.sweep.planSize(e.N(), total)
+	if r.pool != nil && workers > 1 && fullSpans >= 2 {
+		r.rescanPlanned(lo, hi, workers, fullSpans)
 	} else {
 		r.rescanSeq(lo, hi)
 	}
@@ -243,12 +253,22 @@ func (r *Retained) rescan(lo, hi int) {
 	for y := range r.counts {
 		r.counts[y] = 0
 	}
-	for pos := range r.terms {
-		for _, t := range r.terms[pos] {
-			r.counts[t.y] += t.v
-		}
+	for i := range r.terms {
+		r.counts[r.terms[i].y] += r.terms[i].v
 	}
 	r.relevant = e.RelevantRows(r.k)
+}
+
+// ensureResults sizes the reusable span-output buffers (keeping previously
+// grown term capacities) and returns the first n.
+func (r *Retained) ensureResults(n int) []spanResult {
+	if n > cap(r.results) {
+		next := make([]spanResult, n)
+		copy(next, r.results[:cap(r.results)])
+		r.results = next
+	}
+	r.results = r.results[:n]
+	return r.results
 }
 
 // rescanSeq is the sequential window replay.
@@ -264,16 +284,7 @@ func (r *Retained) rescanSeq(lo, hi int) {
 	}
 	zeroRows := e.N()
 	for pos := 0; pos < lo; pos++ {
-		ref := e.order[pos]
-		i := int(ref.row)
-		ch := int(e.pins[i])
-		if ch >= 0 && int(ref.cand) != ch {
-			continue
-		}
-		sc.alpha[i]++
-		if sc.alpha[i] == 1 {
-			zeroRows--
-		}
+		zeroRows = e.advanceAlpha(pos, sc.alpha, zeroRows)
 	}
 	// A fresh sweep builds its trees at the first position where the
 	// boundary support stops being provably zero; if that transition lies
@@ -283,29 +294,36 @@ func (r *Retained) rescanSeq(lo, hi int) {
 	if built {
 		e.buildLeaves(sc, -1, -1)
 	}
-	r.stats.CandidatesScanned += e.scanPositions(sc, lo, hi, zeroRows, built, r.useMC, func(pos int) *[]term {
-		r.terms[pos] = r.terms[pos][:0]
-		return &r.terms[pos]
-	})
+	results := r.ensureResults(1)
+	r.stats.CandidatesScanned += e.scanSpanFlat(sc, lo, hi, zeroRows, built, r.useMC, &results[0])
+	r.splice(lo, hi, []sweepSpan{{lo: lo, hi: hi}}, results)
 }
 
-// rescanSpans is the span-parallel window replay: the planner's sequential
-// prefix pass snapshots α at each span start, workers re-record the spans'
-// term streams concurrently — each position's stream is written by exactly
-// one worker, since the spans partition the window — and positions before
-// the zero-rows transition just have their stale streams truncated.
-func (r *Retained) rescanSpans(lo, hi, workers, numSpans int) {
+// rescanPlanned replays window [lo, hi] through the engine's plan cache: the
+// full-scan plan is fetched (or revalidated, or repaired) once per pin
+// generation, a full rescan runs its spans directly, and a delta window is
+// sub-sliced from it — the cached α snapshots seed the window's scan state,
+// so the replay skips the O(N) sequential prefix walk, and a hot window
+// splits below the full sweep's span floor (deltaPlanSize) because planning
+// it costs almost nothing.
+func (r *Retained) rescanPlanned(lo, hi, workers, fullSpans int) {
 	e := r.e
-	emitStart, spans := e.planSpans(r.k, lo, hi, numSpans)
-	for pos := lo; pos < emitStart; pos++ {
-		r.terms[pos] = r.terms[pos][:0]
+	total := len(e.order)
+	full := e.planFor(r.k, 0, total-1, fullSpans)
+	spans := full.spans
+	if lo != 0 || hi != total-1 {
+		_, deltaSpans := r.sweep.deltaPlanSize(hi - lo + 1)
+		_, spans = e.subSlicePlan(full, lo, hi, deltaSpans)
 	}
+	// Spans carry their own boundaries; splice truncates [lo, spans[0].lo).
 	if len(spans) == 0 {
+		r.splice(lo, hi, nil, nil)
 		return
 	}
+	results := r.ensureResults(len(spans))
 	if len(spans) < 2 {
 		// Degenerate plan (the emitting tail is one span): scan it
-		// sequentially from the snapshot rather than spinning up workers.
+		// sequentially from the snapshot — still skipping the prefix walk.
 		sp := spans[0]
 		sc := r.getScratch()
 		defer r.putScratch(sc)
@@ -314,18 +332,62 @@ func (r *Retained) rescanSpans(lo, hi, workers, numSpans int) {
 		if built {
 			e.buildLeaves(sc, -1, -1)
 		}
-		r.stats.CandidatesScanned += e.scanPositions(sc, sp.lo, sp.hi, sp.zeroRows, built, r.useMC, func(pos int) *[]term {
-			r.terms[pos] = r.terms[pos][:0]
-			return &r.terms[pos]
-		})
+		r.stats.CandidatesScanned += e.scanSpanFlat(sc, sp.lo, sp.hi, sp.zeroRows, built, r.useMC, &results[0])
+		r.splice(lo, hi, spans, results)
 		return
 	}
-	stats, scanned := e.runSpans(spans, r.k, r.useMC, workers, r.pool, func(_, pos int) *[]term {
-		r.terms[pos] = r.terms[pos][:0]
-		return &r.terms[pos]
-	})
+	stats, scanned := e.runSpans(spans, r.k, r.useMC, workers, r.pool, results)
 	r.sweepStats.Add(stats)
 	r.stats.CandidatesScanned += scanned
+	r.splice(lo, hi, spans, results)
+}
+
+// splice replaces the retained streams of positions [lo, hi] with the freshly
+// scanned spans' flat outputs. Positions in [lo, spans[0].lo) — the
+// provably-zero prefix — and trailing positions past the last span become
+// empty streams. The flat suffix beyond hi shifts once (an overlapping copy),
+// and offsets after the window adjust by the length delta; streams outside
+// the window are untouched byte-for-byte, which is what keeps the re-summed
+// counts bit-identical to a fresh sweep.
+func (r *Retained) splice(lo, hi int, spans []sweepSpan, results []spanResult) {
+	oldLo := r.offs[lo]
+	oldHi := r.offs[hi+1]
+	newW := 0
+	for i := range results {
+		newW += len(results[i].terms)
+	}
+	delta := newW - (oldHi - oldLo)
+	n := len(r.terms)
+	if delta > 0 {
+		r.terms = append(r.terms, make([]term, delta)...)
+	}
+	copy(r.terms[oldHi+delta:n+delta], r.terms[oldHi:n])
+	if delta < 0 {
+		r.terms = r.terms[:n+delta]
+	}
+	w := oldLo
+	pos := lo
+	for i := range results {
+		sp := spans[i]
+		for ; pos < sp.lo; pos++ {
+			r.offs[pos] = w // truncated pre-emit prefix: empty stream
+		}
+		copy(r.terms[w:], results[i].terms)
+		offs := results[i].offs
+		for pi := 0; pi <= sp.hi-sp.lo; pi++ {
+			r.offs[sp.lo+pi] = w + int(offs[pi])
+		}
+		w += len(results[i].terms)
+		pos = sp.hi + 1
+	}
+	for ; pos <= hi; pos++ {
+		r.offs[pos] = w // no emitting span reached these positions
+	}
+	if delta != 0 {
+		for p := hi + 1; p < len(r.offs); p++ {
+			r.offs[p] += delta
+		}
+	}
 }
 
 func (r *Retained) getScratch() *Scratch {
@@ -344,12 +406,13 @@ func (r *Retained) putScratch(sc *Scratch) {
 	}
 }
 
-// ApproxBytes estimates the retained state's heap footprint — term streams
-// dominate at O(NM·K) — for byte-budgeted caches.
+// ApproxBytes estimates the retained state's heap footprint — the flat term
+// stream dominates at O(NM·K) — for byte-budgeted caches.
 func (r *Retained) ApproxBytes() int64 {
-	b := int64(len(r.counts))*8 + int64(len(r.relevant)) + int64(len(r.terms))*24
-	for _, ts := range r.terms {
-		b += int64(cap(ts)) * 16
+	b := int64(len(r.counts))*8 + int64(len(r.relevant)) +
+		int64(cap(r.terms))*16 + int64(len(r.offs))*8
+	for i := range r.results {
+		b += int64(cap(r.results[i].terms))*16 + int64(cap(r.results[i].offs))*4
 	}
 	if r.own != nil {
 		b += r.own.ApproxBytes()

@@ -95,6 +95,29 @@ func (cfg SweepConfig) planSize(n, window int) (workers, numSpans int) {
 	return workers, numSpans
 }
 
+// deltaPlanSize sizes the span plan for a windowed delta replay that
+// sub-slices a cached full-window plan. Planning such a window is nearly free
+// — a snapshot seek plus a short replay instead of an O(N) prefix walk — so
+// the span floor drops to a quarter of the full-sweep default (the remaining
+// per-span cost is the O(N·K²) tree rebuild), letting hot windows well below
+// the full sweep's floor still fan out across workers. An explicit
+// MinSpanPositions is honored unchanged.
+func (cfg SweepConfig) deltaPlanSize(window int) (workers, numSpans int) {
+	workers = cfg.Workers
+	if workers <= 1 {
+		return workers, 1
+	}
+	floor := cfg.MinSpanPositions
+	if floor <= 0 {
+		floor = DefaultMinSpanPositions / 4
+	}
+	numSpans = workers * spansPerWorker
+	if maxSpans := window / floor; numSpans > maxSpans {
+		numSpans = maxSpans
+	}
+	return workers, numSpans
+}
+
 // sweepSpan is one contiguous run of scan positions plus the α state a
 // sequential scan would carry into its first position.
 type sweepSpan struct {
@@ -113,41 +136,42 @@ type sweepSpan struct {
 // the boundary can never be in the top-K); callers only need to clear any
 // retained terms there. Pure integer work: O(hi) α updates plus
 // O(numSpans·N) snapshot copies, no tree operations.
-func (e *Engine) planSpans(k, lo, hi, numSpans int) (emitStart int, spans []sweepSpan) {
+//
+// knownEmitStart ≥ 0 asserts the transition is already known — a sibling
+// plan over the same window at the same pin generation derived it, and the
+// span count does not affect it — so the search is skipped and the prefix is
+// replayed straight to it. Pass −1 to derive it here.
+func (e *Engine) planSpans(k, lo, hi, numSpans, knownEmitStart int) (emitStart int, spans []sweepSpan) {
 	alpha := make([]int32, e.N())
 	zeroRows := e.N()
-	advance := func(pos int) {
-		ref := e.order[pos]
-		i := int(ref.row)
-		if ch := int(e.pins[i]); ch >= 0 && int(ref.cand) != ch {
-			return
-		}
-		alpha[i]++
-		if alpha[i] == 1 {
-			zeroRows--
-		}
-	}
 	for pos := 0; pos < lo; pos++ {
-		advance(pos)
+		zeroRows = e.advanceAlpha(pos, alpha, zeroRows)
 	}
-	// Find the transition without consuming it: a position emits iff after
-	// its own α increment zeroRows ≤ K−1, and zeroRows is monotone
-	// non-increasing, so the first such position starts the emitting tail.
-	pos := lo
-	for ; pos <= hi; pos++ {
-		if zeroRows <= k-1 {
-			break
+	if knownEmitStart >= 0 {
+		for pos := lo; pos < knownEmitStart; pos++ {
+			zeroRows = e.advanceAlpha(pos, alpha, zeroRows)
 		}
-		ref := e.order[pos]
-		i := int(ref.row)
-		ch := int(e.pins[i])
-		valid := ch < 0 || int(ref.cand) == ch
-		if valid && alpha[i] == 0 && zeroRows-1 <= k-1 {
-			break // this position's own increment crosses the threshold
+		emitStart = knownEmitStart
+	} else {
+		// Find the transition without consuming it: a position emits iff after
+		// its own α increment zeroRows ≤ K−1, and zeroRows is monotone
+		// non-increasing, so the first such position starts the emitting tail.
+		pos := lo
+		for ; pos <= hi; pos++ {
+			if zeroRows <= k-1 {
+				break
+			}
+			ref := e.order[pos]
+			i := int(ref.row)
+			ch := int(e.pins[i])
+			valid := ch < 0 || int(ref.cand) == ch
+			if valid && alpha[i] == 0 && zeroRows-1 <= k-1 {
+				break // this position's own increment crosses the threshold
+			}
+			zeroRows = e.advanceAlpha(pos, alpha, zeroRows)
 		}
-		advance(pos)
+		emitStart = pos
 	}
-	emitStart = pos
 	window := hi - emitStart + 1
 	if window <= 0 {
 		return emitStart, nil
@@ -172,16 +196,21 @@ func (e *Engine) planSpans(k, lo, hi, numSpans int) (emitStart int, spans []swee
 				alpha:    append([]int32(nil), alpha...),
 			})
 		}
-		advance(pos)
+		zeroRows = e.advanceAlpha(pos, alpha, zeroRows)
 	}
 	return emitStart, spans
 }
 
-// scanPositions replays scan positions [lo, hi] with real tree work under the
-// engine's current pins, appending each position's support terms to
-// *rec(pos). rec is invoked for every position in the range — including
-// eliminated candidates and provably-zero prefixes, which append nothing — so
-// recorders that retain per-position streams can truncate stale state.
+// scanPositions is the callback-dispatch reference kernel: it replays scan
+// positions [lo, hi] with real tree work under the engine's current pins,
+// appending each position's support terms to *rec(pos). rec is invoked for
+// every position in the range — including eliminated candidates and
+// provably-zero prefixes, which append nothing — so recorders that retain
+// per-position streams can truncate stale state.
+//
+// Production sweeps run scanSpanFlat instead; this kernel is kept as the
+// independent reference the lockstep test (TestScanFlatMatchesCallback) and
+// the kernel benchmark (BenchmarkScanPositions_Callback) compare against.
 //
 // Preconditions: sc.alpha holds the α state a sequential scan carries into
 // position lo, zeroRows counts its zero rows, and built reports whether sc's
@@ -232,15 +261,98 @@ func (e *Engine) scanPositions(sc *Scratch, lo, hi, zeroRows int, built, useMC b
 	return scanned
 }
 
+// spanResult is one span's flat scan output: every term its positions record,
+// concatenated in scan order, plus per-position offsets — the stream of
+// position lo+i is terms[offs[i]:offs[i+1]] (empty for eliminated candidates
+// and provably-zero positions). The layout replaces per-position callback
+// dispatch and per-position slice headers with one flat append stream per
+// span, and lets reducers splice whole spans with two copies.
+type spanResult struct {
+	terms []term
+	offs  []int32 // len = span length + 1
+}
+
+// reset prepares the buffers for reuse without releasing capacity.
+func (sr *spanResult) reset() {
+	sr.terms = sr.terms[:0]
+	sr.offs = sr.offs[:0]
+}
+
+// scanSpanFlat is the flat scan kernel: it replays scan positions [lo, hi]
+// with real tree work under the engine's current pins, recording every
+// position's support terms into out's flat layout. It performs identical
+// tree operations in identical order to scanPositions — the lockstep test
+// pins stream-for-stream equality across worker counts and accumulators —
+// with the dispatch overhead gone: engine state hoisted into locals, one
+// tight loop, appends into a single flat term slice.
+//
+// Preconditions match scanPositions: sc.alpha holds the α state entering lo,
+// zeroRows its zero-row count, built whether sc's trees already reflect
+// sc.alpha. Returns the number of positions that performed tree work.
+func (e *Engine) scanSpanFlat(sc *Scratch, lo, hi, zeroRows int, built, useMC bool, out *spanResult) int64 {
+	out.reset()
+	inst := e.inst
+	order := e.order
+	pins := e.pins
+	labelOf := e.labelOf
+	rowPos := e.rowPos
+	alpha := sc.alpha
+	k := sc.k
+	terms := out.terms
+	offs := out.offs
+	var scanned int64
+	for pos := lo; pos <= hi; pos++ {
+		offs = append(offs, int32(len(terms)))
+		ref := order[pos]
+		i := int(ref.row)
+		ch := int(pins[i])
+		if ch >= 0 && int(ref.cand) != ch {
+			continue // candidate eliminated by cleaning
+		}
+		mEff := inst.M(i)
+		if ch >= 0 {
+			mEff = 1
+		}
+		alpha[i]++
+		if alpha[i] == 1 {
+			zeroRows--
+		}
+		if zeroRows > k-1 {
+			continue // provably zero boundary support (empty stream)
+		}
+		if !built {
+			e.buildLeaves(sc, -1, -1)
+			built = true
+		}
+		a := float64(alpha[i]) / float64(mEff)
+		tr := sc.trees[labelOf[i]]
+		p := rowPos[i]
+		// Same force/record/restore pair as Counts and scanPositions.
+		tr.SetLeaf(p, 0, 1/float64(mEff))
+		if useMC {
+			e.recordMC(sc, &terms)
+		} else {
+			terms = recordInto(sc, sc.rootsNormal, terms)
+		}
+		tr.SetLeaf(p, a, 1-a)
+		scanned++
+	}
+	offs = append(offs, int32(len(terms)))
+	out.terms = terms
+	out.offs = offs
+	return scanned
+}
+
 // runSpans executes the planned spans across worker goroutines. Workers pull
 // span indices from a shared counter — span s "belongs" to worker s mod
 // workers, and a pull by any other worker counts as a steal — and each holds
 // one pooled Scratch for all the spans it runs, rebuilding tree state from
-// the span's α snapshot before scanning. rec must route concurrent appends
-// to storage that is disjoint per (span, position); the spans partition the
-// position range, so per-position or per-span buffers both qualify. Returns
-// the sweep counters and the total positions that performed tree work.
-func (e *Engine) runSpans(spans []sweepSpan, k int, useMC bool, workers int, scratches *ScratchPool, rec func(span, pos int) *[]term) (SweepStats, int64) {
+// the span's α snapshot before running the flat kernel into results[s].
+// results must have len(spans) elements; workers write disjoint elements, so
+// no cross-worker synchronization is needed. Spans (typically from a cached
+// plan) are read-only here. Returns the sweep counters and the total
+// positions that performed tree work.
+func (e *Engine) runSpans(spans []sweepSpan, k int, useMC bool, workers int, scratches *ScratchPool, results []spanResult) (SweepStats, int64) {
 	if workers > len(spans) {
 		workers = len(spans)
 	}
@@ -266,10 +378,7 @@ func (e *Engine) runSpans(spans []sweepSpan, k int, useMC bool, workers int, scr
 				if built {
 					e.buildLeaves(sc, -1, -1)
 				}
-				n := e.scanPositions(sc, sp.lo, sp.hi, sp.zeroRows, built, useMC, func(pos int) *[]term {
-					return rec(s, pos)
-				})
-				scanned.Add(n)
+				scanned.Add(e.scanSpanFlat(sc, sp.lo, sp.hi, sp.zeroRows, built, useMC, &results[s]))
 			}
 		}(w)
 	}
@@ -309,8 +418,8 @@ func (e *Engine) SweepCounts(k int, useMC bool, cfg SweepConfig, scratches *Scra
 		}
 		return counts, SweepStats{}, nil
 	}
-	_, spans := e.planSpans(k, 0, total-1, numSpans)
-	if len(spans) < 2 {
+	plan := e.planFor(k, 0, total-1, numSpans)
+	if len(plan.spans) < 2 {
 		// The emitting tail collapsed below two spans (late zero-rows
 		// transition): sequential is both simpler and faster.
 		sc := scratches.Get()
@@ -324,12 +433,10 @@ func (e *Engine) SweepCounts(k int, useMC bool, cfg SweepConfig, scratches *Scra
 	}
 	// Each span records into its own flat term stream; appends within a span
 	// are already in scan order, so the reducer just walks spans in order.
-	spanTerms := make([][]term, len(spans))
-	stats, _ := e.runSpans(spans, k, useMC, workers, scratches, func(s, _ int) *[]term {
-		return &spanTerms[s]
-	})
-	for _, ts := range spanTerms {
-		for _, t := range ts {
+	results := make([]spanResult, len(plan.spans))
+	stats, _ := e.runSpans(plan.spans, k, useMC, workers, scratches, results)
+	for s := range results {
+		for _, t := range results[s].terms {
 			counts[t.y] += t.v
 		}
 	}

@@ -135,14 +135,31 @@ func (d *Dataset) StreamBatchQuery(ctx context.Context, req BatchRequest, cfg Co
 	}
 	pool := d.pool(k, cfg)
 	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
+	// Pooled engines are never pinned, so a dataset-level answer can never go
+	// stale: the result-cache generation is a constant 0 and a hit skips the
+	// engine layer entirely.
+	results := cfg.resultCacheFor()
 	certain := 0
 	err = runOrdered(ctx, len(req.Points), batchWorkers, cfg.streams,
 		func(i int) (PointResult, error) {
-			e, ent := pool.engine(req.Points[i])
-			if ent != nil {
-				return pool.queryEntry(ent, k, req.UseMC, sweepWorkers)
+			var key string
+			if results != nil {
+				key = resultKey(d.fingerprint, "", k, req.UseMC, 0, pointKey(req.Points[i]))
+				if r, ok := results.get(key); ok {
+					return r, nil
+				}
 			}
-			return pool.querySweep(e, k, req.UseMC, sweepWorkers)
+			r, err := func() (PointResult, error) {
+				e, ent := pool.engine(req.Points[i])
+				if ent != nil {
+					return pool.queryEntry(ent, k, req.UseMC, sweepWorkers)
+				}
+				return pool.querySweep(e, k, req.UseMC, sweepWorkers)
+			}()
+			if err == nil && results != nil {
+				results.put(key, r)
+			}
+			return r, err
 		},
 		func(i int, r PointResult) error {
 			if r.Certain {

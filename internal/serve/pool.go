@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"encoding/binary"
 	"math"
 	"sort"
@@ -14,26 +13,23 @@ import (
 // enginePool owns the per-(dataset, K) serving state: a Scratch free list
 // (shape identical across every engine of the dataset) and an LRU of
 // constructed engines keyed by test point, budgeted both by entry count and
-// by approximate bytes (engines plus their retained query memos). Cached
-// engines carry no pins and are therefore safe for concurrent queries from
-// many goroutines, each with its own Scratch; each entry's retained-tree
-// memo is single-goroutine and guarded by the entry's own mutex.
+// by approximate bytes (engines plus their retained query memos) through the
+// shared lruBudget accounting. Cached engines carry no pins and are therefore
+// safe for concurrent queries from many goroutines, each with its own
+// Scratch; each entry's retained-tree memo is single-goroutine and guarded by
+// the entry's own mutex.
 type enginePool struct {
 	ds       *Dataset
 	k        int
 	capacity int
-	maxBytes int64 // 0 = unlimited
-	noMemo   bool  // Config.DisableQueryMemo: ablation baseline
+	noMemo   bool // Config.DisableQueryMemo: ablation baseline
 
 	mu        sync.Mutex
-	lru       *list.List               // front = most recently used *engineEntry; guarded by mu
-	byKey     map[string]*list.Element // guarded by mu
-	bytes     int64                    // Σ accounted bytes of cached entries; guarded by mu
+	cache     *lruBudget[*engineEntry] // guarded by mu
 	scratches *core.ScratchPool        // created on first use; guarded by mu
 
-	builds    atomic.Int64 // engines constructed
-	hits      atomic.Int64 // cache hits
-	evictions atomic.Int64 // entries dropped by either budget
+	builds atomic.Int64 // engines constructed
+	hits   atomic.Int64 // cache hits
 
 	// Span-parallel sweep counters for the memo-less path (querySweep);
 	// retained entries keep their own and are aggregated at Stats time.
@@ -49,7 +45,6 @@ type enginePool struct {
 type engineEntry struct {
 	key    string
 	engine *core.Engine
-	bytes  int64 // accounted engine+retained bytes; updated under pool.mu
 
 	mu        sync.Mutex // serializes memo/retained use
 	retained  *core.Retained
@@ -69,10 +64,8 @@ func (d *Dataset) pool(k int, cfg Config) *enginePool {
 			ds:       d,
 			k:        k,
 			capacity: cfg.EngineCacheSize,
-			maxBytes: cfg.MaxEngineBytes,
 			noMemo:   cfg.DisableQueryMemo,
-			lru:      list.New(),
-			byKey:    make(map[string]*list.Element),
+			cache:    newLRUBudget[*engineEntry](cfg.EngineCacheSize, cfg.MaxEngineBytes),
 		}
 		d.pools[k] = p
 	}
@@ -101,9 +94,7 @@ func (p *enginePool) engine(t []float64) (*core.Engine, *engineEntry) {
 	}
 	key := pointKey(t)
 	p.mu.Lock()
-	if el, ok := p.byKey[key]; ok {
-		p.lru.MoveToFront(el)
-		ent := el.Value.(*engineEntry)
+	if ent, ok := p.cache.get(key); ok {
 		p.mu.Unlock()
 		p.hits.Add(1)
 		return ent.engine, ent
@@ -114,34 +105,13 @@ func (p *enginePool) engine(t []float64) (*core.Engine, *engineEntry) {
 	// duplicate and the first insert wins — wasted work, not a bug.
 	e := core.NewEngine(p.ds.data, p.ds.kernel, t)
 	p.builds.Add(1)
-	ent := &engineEntry{key: key, engine: e, bytes: e.ApproxBytes()}
+	ent := &engineEntry{key: key, engine: e}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if el, ok := p.byKey[key]; ok {
-		p.lru.MoveToFront(el)
-		ent = el.Value.(*engineEntry)
-		return ent.engine, ent
+	if cur, inserted := p.cache.put(key, ent, e.ApproxBytes()); !inserted {
+		return cur.engine, cur
 	}
-	p.byKey[key] = p.lru.PushFront(ent)
-	p.bytes += ent.bytes
-	p.evictLocked()
 	return e, ent
-}
-
-// evictLocked drops least-recently-used entries while either budget — entry
-// count or bytes — is exceeded. The byte budget always keeps the most recent
-// entry: a single over-budget engine degrades to a cache of one rather than
-// an un-cached rebuild per query. Caller holds p.mu.
-func (p *enginePool) evictLocked() {
-	for p.lru.Len() > p.capacity ||
-		(p.maxBytes > 0 && p.bytes > p.maxBytes && p.lru.Len() > 1) {
-		back := p.lru.Back()
-		ent := back.Value.(*engineEntry)
-		delete(p.byKey, ent.key)
-		p.lru.Remove(back)
-		p.bytes -= ent.bytes
-		p.evictions.Add(1)
-	}
 }
 
 // reaccount refreshes an entry's byte estimate after its retained memo grew
@@ -149,12 +119,7 @@ func (p *enginePool) evictLocked() {
 func (p *enginePool) reaccount(ent *engineEntry, newBytes int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.byKey[ent.key]; !ok {
-		return // already evicted; nothing is accounted for it
-	}
-	p.bytes += newBytes - ent.bytes
-	ent.bytes = newBytes
-	p.evictLocked()
+	p.cache.reaccount(ent.key, newBytes)
 }
 
 // queryEntry answers one point through the entry's retained memo: a repeat
@@ -257,6 +222,10 @@ type PoolStats struct {
 	// Retained aggregates the retained-tree query-memo counters over the
 	// currently cached entries (evicted entries take their counts with them).
 	Retained core.RetainedStats `json:"retained"`
+	// Plan aggregates the sweep-plan cache counters of the cached engines:
+	// how many span plans were served verbatim, repaired in place, or rebuilt
+	// from scratch (evicted engines take their counts with them).
+	Plan core.PlanStats `json:"plan"`
 	// Sweep aggregates the span-parallel sweep counters: the pool's memo-less
 	// sweeps plus the cached entries' retained rescans.
 	Sweep         core.SweepStats `json:"sweep"`
@@ -278,7 +247,6 @@ func (d *Dataset) Stats() []PoolStats {
 			K:            p.k,
 			EngineBuilds: p.builds.Load(),
 			EngineHits:   p.hits.Load(),
-			Evictions:    p.evictions.Load(),
 			Sweep: core.SweepStats{
 				ParallelSweeps: p.sweepPar.Load(),
 				Spans:          p.sweepSpans.Load(),
@@ -286,15 +254,14 @@ func (d *Dataset) Stats() []PoolStats {
 			},
 		}
 		p.mu.Lock()
-		st.EnginesCached = p.lru.Len()
-		st.EngineBytes = p.bytes
-		entries := make([]*engineEntry, 0, p.lru.Len())
-		for el := p.lru.Front(); el != nil; el = el.Next() {
-			entries = append(entries, el.Value.(*engineEntry))
-		}
+		st.EnginesCached = p.cache.len()
+		st.EngineBytes = p.cache.bytes
+		st.Evictions = p.cache.evictions
+		entries := p.cache.values()
 		scratches := p.scratches
 		p.mu.Unlock()
 		for _, ent := range entries {
+			st.Plan.Add(ent.engine.PlanStats())
 			ent.mu.Lock()
 			if ent.retained != nil {
 				st.Retained.Add(ent.retained.Stats())

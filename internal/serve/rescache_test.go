@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// samePointResults fails unless the two result slices agree field for field
+// (fraction equality is exact: both sides run the same deterministic sweep).
+func samePointResults(t *testing.T, label string, got, want []PointResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Prediction != w.Prediction || g.Certain != w.Certain || g.Entropy != w.Entropy {
+			t.Fatalf("%s: point %d = %+v want %+v", label, i, g, w)
+		}
+		for y := range w.Fractions {
+			if g.Fractions[y] != w.Fractions[y] {
+				t.Fatalf("%s: point %d label %d fraction %v want %v", label, i, y, g.Fractions[y], w.Fractions[y])
+			}
+		}
+	}
+}
+
+// TestResultCacheBatchRoundTrip checks the dataset-level result cache: a
+// repeated batch is answered entirely from cache (hit per point), answers are
+// field-for-field identical to a cache-disabled server, and the accumulator
+// mode is part of the key (a UseMC flip never reuses a tally answer).
+func TestResultCacheBatchRoundTrip(t *testing.T) {
+	d := randDataset(t, 36, 3, 2, 2, 0.5, 402)
+	cached := NewServer(Config{ResultCacheBytes: 1 << 20})
+	defer cached.Close()
+	plain := NewServer(Config{})
+	defer plain.Close()
+	for _, s := range []*Server{cached, plain} {
+		if _, err := s.Register("d", d, nil, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	points := randPoints(12, 2, 403)
+	req := BatchRequest{Points: points}
+
+	first, err := cached.BatchQuery(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cached.Stats()
+	if st.ResultCache == nil {
+		t.Fatal("stats missing result_cache block with the cache enabled")
+	}
+	if st.ResultCache.Misses != int64(len(points)) || st.ResultCache.Hits != 0 {
+		t.Fatalf("cold batch: %+v, want %d misses 0 hits", st.ResultCache, len(points))
+	}
+	if st.ResultCache.Entries != len(points) || st.ResultCache.Bytes <= 0 {
+		t.Fatalf("cold batch cached %d entries (%d bytes), want %d", st.ResultCache.Entries, st.ResultCache.Bytes, len(points))
+	}
+
+	second, err := cached.BatchQuery(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = cached.Stats()
+	if st.ResultCache.Hits != int64(len(points)) {
+		t.Fatalf("warm batch: %+v, want %d hits", st.ResultCache, len(points))
+	}
+	want, err := plain.BatchQuery(context.Background(), "d", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePointResults(t, "cold vs uncached", first.Results, want.Results)
+	samePointResults(t, "warm vs uncached", second.Results, want.Results)
+
+	// A mode flip must key separately: all misses again, and the MC answers
+	// still match the uncached server's.
+	mc, err := cached.BatchQuery(context.Background(), "d", BatchRequest{Points: points, UseMC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = cached.Stats()
+	if st.ResultCache.Misses != int64(2*len(points)) {
+		t.Fatalf("mode flip: %+v, want %d misses", st.ResultCache, 2*len(points))
+	}
+	wantMC, err := plain.BatchQuery(context.Background(), "d", BatchRequest{Points: points, UseMC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePointResults(t, "mc vs uncached", mc.Results, wantMC.Results)
+
+	if plain.Stats().ResultCache != nil {
+		t.Fatal("stats grew a result_cache block with the cache disabled")
+	}
+}
+
+// TestResultCacheSessionGeneration checks the invalidation contract at the
+// session level: an unchanged session answers repeats from cache, a cleaning
+// step bumps the generation so the next query misses — and the fresh answer
+// matches a reference pinned-engine sweep bit for bit, never the stale entry.
+func TestResultCacheSessionGeneration(t *testing.T) {
+	s, d, sess := cleanFixture(t, Config{ResultCacheBytes: 1 << 20}, 404)
+	defer s.Close()
+	points := randPoints(4, 2, 405)
+	req := BatchRequest{Points: points}
+	var executed []CleanStep
+	for round := 0; round < 3; round++ {
+		if round > 0 {
+			steps, _, err := sess.Next(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			executed = append(executed, steps...)
+		}
+		before := s.Stats().ResultCache.Hits
+		res, err := sess.Query(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats().ResultCache
+		if st.Hits != before {
+			t.Fatalf("round %d: first query at a new pin state got %d cache hits", round, st.Hits-before)
+		}
+		repeat, err := sess.Query(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = s.Stats().ResultCache
+		if st.Hits != before+int64(len(points)) {
+			t.Fatalf("round %d: repeat query got %d hits, want %d", round, st.Hits-before, len(points))
+		}
+		samePointResults(t, "repeat vs fresh", repeat.Results, res.Results)
+		for i := range points {
+			want := referencePinned(d, executed, points[i], 3)
+			for y, v := range want {
+				if res.Results[i].Fractions[y] != v {
+					t.Fatalf("round %d point %d label %d: cached-path answer %v, reference pinned sweep %v",
+						round, i, y, res.Results[i].Fractions, want)
+				}
+			}
+		}
+	}
+}
+
+// TestResultCacheEviction checks the byte budget: a budget far below the
+// sweep's footprint evicts (keeping at least the most recent entry) and the
+// accounted bytes stay at or under the budget whenever more than one entry is
+// cached.
+func TestResultCacheEviction(t *testing.T) {
+	d := randDataset(t, 30, 3, 2, 2, 0.5, 406)
+	s := NewServer(Config{ResultCacheBytes: 400})
+	defer s.Close()
+	if _, err := s.Register("d", d, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(20, 2, 407)
+	if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats().ResultCache
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget: %+v", st.MaxBytes, st)
+	}
+	if st.Entries == 0 {
+		t.Fatal("byte budget must keep at least the most recent entry")
+	}
+	if st.Entries > 1 && st.Bytes > st.MaxBytes {
+		t.Fatalf("cache holds %d bytes above the %d budget with %d entries", st.Bytes, st.MaxBytes, st.Entries)
+	}
+}
+
+// TestResultCacheAblationBypass checks DisableQueryMemo turns the result
+// cache off too: the ablation baseline's sweep counters must stay comparable,
+// so no layer may short-circuit a repeated query.
+func TestResultCacheAblationBypass(t *testing.T) {
+	d := randDataset(t, 24, 3, 2, 2, 0.5, 408)
+	s := NewServer(Config{ResultCacheBytes: 1 << 20, DisableQueryMemo: true})
+	defer s.Close()
+	if _, err := s.Register("d", d, nil, 3); err != nil {
+		t.Fatal(err)
+	}
+	points := randPoints(5, 2, 409)
+	for i := 0; i < 2; i++ {
+		if _, err := s.BatchQuery(context.Background(), "d", BatchRequest{Points: points}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats().ResultCache
+	if st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("ablation run touched the result cache: %+v", st)
+	}
+}

@@ -92,8 +92,19 @@ type Config struct {
 	MaxEngineBytes int64
 	// DisableQueryMemo turns off the retained-tree batch-query memo: every
 	// batch Q2 runs a full SS-DC sweep — the pre-incremental behavior, kept
-	// as the benchmark/ablation baseline (BenchmarkBatchQ2_FullSweep).
+	// as the benchmark/ablation baseline (BenchmarkBatchQ2_FullSweep). It
+	// also bypasses the result cache, so the ablation's sweep counters stay
+	// comparable.
 	DisableQueryMemo bool
+	// ResultCacheBytes enables the server-wide query result cache with this
+	// approximate byte budget: finished PointResults are kept by (dataset
+	// fingerprint, session, K, accumulator mode, pin generation, test point),
+	// so a repeated batch or session query is answered without touching an
+	// engine at all. Unlike the other knobs, 0 does not mean "default" — it
+	// (and any negative value) disables the cache. The cache is opt-in
+	// because a hit skips the engine/memo layers entirely, changing which
+	// /v1/stats counters a repeated query advances.
+	ResultCacheBytes int64
 	// MaxCleanSessions caps concurrently live clean sessions
 	// (0 = DefaultMaxCleanSessions, negative = unlimited). Creation beyond
 	// the cap fails with ErrCapacity (HTTP 429).
@@ -145,6 +156,10 @@ type Config struct {
 	// the pointer rides along with every Config copy the request paths make,
 	// and is nil (counters off) for a Config built by hand in tests.
 	streams *streamCounters
+	// results points at the owning Server's result cache (nil when
+	// ResultCacheBytes leaves it disabled). Set by Open, same pattern as
+	// streams: the pointer rides along with every Config copy.
+	results *resultCache
 }
 
 // DefaultEngineCacheSize is the engine LRU capacity used when
@@ -227,6 +242,10 @@ type Server struct {
 	journal *journal // nil when Config.DataDir is empty
 	state   atomic.Int32
 
+	// results is the opt-in server-wide query result cache (nil when
+	// Config.ResultCacheBytes leaves it disabled).
+	results *resultCache
+
 	// streams aggregates runOrdered's fan-out counters across every batch
 	// query (dataset- and session-level) this server answers.
 	streams streamCounters
@@ -284,6 +303,10 @@ func Open(cfg Config) (*Server, error) {
 		sessions: newSessionStore(cfg.MaxCleanSessions, cfg.SessionTTL),
 	}
 	s.cfg.streams = &s.streams
+	if cfg.ResultCacheBytes > 0 {
+		s.results = newResultCache(cfg.ResultCacheBytes)
+		s.cfg.results = s.results
+	}
 	if cfg.DataDir == "" {
 		s.state.Store(stateReady)
 		return s, nil

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"strconv"
@@ -26,15 +25,11 @@ import (
 // session history under sess.mu, queries snapshot that history and catch
 // their cached engines up pin by pin under each entry's own lock.
 type sessionQueryCache struct {
-	ds       *Dataset
-	cfg      Config
-	capacity int
-	maxBytes int64 // ≤ 0 = unlimited
+	ds  *Dataset
+	cfg Config
 
 	mu    sync.Mutex
-	lru   *list.List // front = most recently used *squeryEntry
-	byKey map[string]*list.Element
-	bytes int64 // Σ accounted bytes of cached entries
+	cache *lruBudget[*squeryEntry] // guarded by mu
 
 	// Lifetime counters, surviving entry eviction. queries counts points
 	// answered; the rest mirror core.RetainedStats / core.SweepStats.
@@ -53,10 +48,9 @@ type sessionQueryCache struct {
 // use; last/lastSweep hold the retained stats already folded into the cache
 // counters.
 type squeryEntry struct {
-	key   string
-	k     int
-	pt    []float64
-	bytes int64 // accounted engine+retained bytes; updated under cache.mu
+	key string
+	k   int
+	pt  []float64
 
 	mu        sync.Mutex
 	engine    *core.Engine
@@ -75,12 +69,9 @@ func newSessionQueryCache(ds *Dataset, cfg Config) *sessionQueryCache {
 		capacity = 1
 	}
 	return &sessionQueryCache{
-		ds:       ds,
-		cfg:      cfg,
-		capacity: capacity,
-		maxBytes: cfg.MaxEngineBytes,
-		lru:      list.New(),
-		byKey:    make(map[string]*list.Element),
+		ds:    ds,
+		cfg:   cfg,
+		cache: newLRUBudget[*squeryEntry](capacity, cfg.MaxEngineBytes),
 	}
 }
 
@@ -115,32 +106,18 @@ func (q *sessionQueryCache) statsSnapshot() SessionQueryStats {
 	}
 }
 
-// entry returns (creating if needed) the cache entry for (pt, k).
+// entry returns (creating if needed) the cache entry for (pt, k). Eviction
+// runs the engine pool's policy through the shared lruBudget accounting.
 func (q *sessionQueryCache) entry(pt []float64, k int) *squeryEntry {
 	key := strconv.Itoa(k) + "|" + pointKey(pt)
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if el, ok := q.byKey[key]; ok {
-		q.lru.MoveToFront(el)
-		return el.Value.(*squeryEntry)
+	if ent, ok := q.cache.get(key); ok {
+		return ent
 	}
 	ent := &squeryEntry{key: key, k: k, pt: pt}
-	q.byKey[key] = q.lru.PushFront(ent)
-	q.evictLocked()
+	q.cache.put(key, ent, 0)
 	return ent
-}
-
-// evictLocked applies the entry and byte budgets (same policy as the engine
-// pool: the most recent entry always stays). Caller holds q.mu.
-func (q *sessionQueryCache) evictLocked() {
-	for q.lru.Len() > q.capacity ||
-		(q.maxBytes > 0 && q.bytes > q.maxBytes && q.lru.Len() > 1) {
-		back := q.lru.Back()
-		ent := back.Value.(*squeryEntry)
-		delete(q.byKey, ent.key)
-		q.lru.Remove(back)
-		q.bytes -= ent.bytes
-	}
 }
 
 // reaccount refreshes an entry's byte estimate after a query grew its
@@ -148,12 +125,7 @@ func (q *sessionQueryCache) evictLocked() {
 func (q *sessionQueryCache) reaccount(ent *squeryEntry, newBytes int64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if _, ok := q.byKey[ent.key]; !ok {
-		return // already evicted; nothing is accounted for it
-	}
-	q.bytes += newBytes - ent.bytes
-	ent.bytes = newBytes
-	q.evictLocked()
+	q.cache.reaccount(ent.key, newBytes)
 }
 
 // queryPoint answers one point under the pins of hist (the session's
@@ -266,11 +238,27 @@ func (sess *Session) StreamQuery(ctx context.Context, req BatchRequest, yield fu
 	}
 	cfg := sess.server.cfg.withDefaults()
 	batchWorkers, sweepWorkers := splitParallelism(cfg, len(req.Points))
+	// Session answers are valid for one pin-state prefix: the history is
+	// append-only, so its snapshot length is the result-cache generation —
+	// a cleaning step bumps it and stale entries are simply never keyed again.
+	results := cfg.resultCacheFor()
+	gen := uint64(len(hist))
 	certain := 0
 	err := runOrdered(ctx, len(req.Points), batchWorkers, cfg.streams,
 		func(i int) (PointResult, error) {
+			var key string
+			if results != nil {
+				key = resultKey(sess.ds.fingerprint, sess.id, k, req.UseMC, gen, pointKey(req.Points[i]))
+				if r, ok := results.get(key); ok {
+					return r, nil
+				}
+			}
 			ent := q.entry(req.Points[i], k)
-			return q.queryPoint(ent, hist, req.UseMC, sweepWorkers)
+			r, err := q.queryPoint(ent, hist, req.UseMC, sweepWorkers)
+			if err == nil && results != nil {
+				results.put(key, r)
+			}
+			return r, err
 		},
 		func(i int, r PointResult) error {
 			if r.Certain {

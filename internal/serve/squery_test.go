@@ -239,8 +239,8 @@ func TestSessionQueryCacheBounded(t *testing.T) {
 		q := sess.queries
 		sess.mu.Unlock()
 		q.mu.Lock()
-		entries, bytes := q.lru.Len(), q.bytes
-		maxBytes := q.maxBytes
+		entries, bytes := q.cache.len(), q.cache.bytes
+		maxBytes := q.cache.maxBytes
 		q.mu.Unlock()
 		if entries > wantMaxEntries {
 			t.Fatalf("cache kept %d entries, budget %d (cfg %+v)", entries, wantMaxEntries, cfg)

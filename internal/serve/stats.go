@@ -23,6 +23,10 @@ type ServerStats struct {
 	// live session.
 	SweepWorkers int             `json:"sweep_workers"`
 	Sweep        core.SweepStats `json:"sweep"`
+	// ResultCache is present only when Config.ResultCacheBytes enables the
+	// server-wide query result cache: entry/byte occupancy against the budget
+	// plus lifetime hit/miss/eviction counts.
+	ResultCache *ResultCacheStats `json:"result_cache,omitempty"`
 	// WAL is present only when the server runs with a data directory.
 	WAL *durable.Metrics `json:"wal,omitempty"`
 	// Streams totals runOrdered's ordered fan-out counters across every
@@ -109,6 +113,10 @@ func (s *Server) Stats() ServerStats {
 		}
 	}
 	st.CleanSessions = s.CleanSessionCount()
+	if s.results != nil {
+		rs := s.results.stats()
+		st.ResultCache = &rs
+	}
 	st.SessionQueries = s.sessions.queryStatsTotals()
 	st.Sweep.Add(st.SessionQueries.Sweep)
 	if s.journal != nil {

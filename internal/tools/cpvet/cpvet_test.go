@@ -24,6 +24,15 @@ func TestMapOrderFunctionTag(t *testing.T) {
 	vettest.Run(t, fixture("maporderfunc"), "fix/maporderfunc", []*cpvet.Analyzer{cpvet.MapOrder}, &cpvet.Config{})
 }
 
+// TestMapOrderCacheScope pins the deterministic-scope rule the sweep-plan
+// cache relies on (core/plan.go): a //cpvet:deterministic cache lookup may
+// not range over its cache map directly, while the untagged sorted-keys
+// collector it is supposed to call — whose own map range is made harmless by
+// the sort — stays out of scope.
+func TestMapOrderCacheScope(t *testing.T) {
+	vettest.Run(t, fixture("cacheorder"), "fix/cacheorder", []*cpvet.Analyzer{cpvet.MapOrder}, &cpvet.Config{})
+}
+
 func TestCtxFlow(t *testing.T) {
 	cfg := &cpvet.Config{CtxPkgs: map[string]bool{"fix/ctxflow": true}}
 	vettest.Run(t, fixture("ctxflow"), "fix/ctxflow", []*cpvet.Analyzer{cpvet.CtxFlow}, cfg)

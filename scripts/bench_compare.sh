@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Guards the pinned sweep benchmarks against ns/op regressions: re-runs them
+# at a steadier iteration count than the `make bench` smoke pass, converts
+# the transcript with benchjson, and diffs it against the committed baseline
+# with benchcompare — failing on any >BENCH_REGRESSION_PCT% (default 15)
+# ns/op regression. With no committed baseline the script warns and exits 0,
+# so a fresh checkout is never broken by a missing artifact.
+#
+# Refresh the baseline after an intentional perf change:
+#   make bench-baseline && git add bench/BENCH_baseline.json
+#
+# Environment:
+#   BENCH_REGRESSION_PCT   regression threshold in percent (default 15)
+#   BENCH_COMPARE_MATCH    comma-separated benchmark name substrings
+#                          (default the pinned sweep benchmarks)
+#   BENCH_COMPARE_TIME     -benchtime for the comparison run (default 50x, best of BENCH_COMPARE_COUNT=5 runs)
+#   BENCH_BASELINE         baseline path (default bench/BENCH_baseline.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BENCH_BASELINE:-bench/BENCH_baseline.json}
+PCT=${BENCH_REGRESSION_PCT:-15}
+MATCH=${BENCH_COMPARE_MATCH:-SweepPlanCache,ScanPositions,BatchQ2_ParallelSweep}
+TIME=${BENCH_COMPARE_TIME:-50x}
+COUNT=${BENCH_COMPARE_COUNT:-5}
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "bench_compare: no baseline at $BASELINE; skipping (create one with 'make bench-baseline')" >&2
+  exit 0
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out" "$out.json"' EXIT
+
+# The pinned benchmarks live in the repro root package (SweepPlanCache,
+# BatchQ2_ParallelSweep) and internal/core (ScanPositions).
+go test -run XXX -bench "${MATCH//,/|}" -benchtime "$TIME" -count "$COUNT" . ./internal/core/ | tee "$out"
+go run ./internal/tools/benchjson -in "$out" -out "$out.json"
+go run ./internal/tools/benchcompare \
+  -baseline "$BASELINE" -current "$out.json" -pct "$PCT" -match "$MATCH"
